@@ -1,0 +1,232 @@
+// Command benchpark is the Benchpark driver of Figure 1c:
+//
+//	benchpark <experiment-suite> <system> <workspace-dir>
+//
+// runs the full continuous-benchmarking workflow: generate the
+// workspace, install software through the Spack layer, generate and
+// execute the experiments under the system's batch scheduler, and
+// analyze figures of merit.
+//
+// Additional subcommands:
+//
+//	benchpark suites              list experiment suites
+//	benchpark systems             list system profiles
+//	benchpark components          print Table 1 (component matrix)
+//	benchpark figure14 [p ...]    reproduce the Figure 14 Extra-P model
+//	benchpark ci-demo             run the Figure 6 automation loop
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dashboard"
+	"repro/internal/hpcsim"
+	"repro/internal/ramble"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpark:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "suites":
+		for _, s := range core.ExperimentTemplates() {
+			fmt.Println(s)
+		}
+		return nil
+	case "systems":
+		for _, name := range hpcsim.Names() {
+			sys, err := hpcsim.Get(name)
+			if err != nil {
+				return err
+			}
+			arch, err := sys.Microarch()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-16s %-6s %5d nodes × %2d cores  %-10s %-9s %s\n",
+				sys.Name, sys.Site, sys.Nodes, sys.Node.Cores(), arch.Name,
+				sys.Scheduler, sys.Description)
+		}
+		return nil
+	case "components":
+		fmt.Print(core.ComponentTable())
+		return nil
+	case "figure14":
+		return figure14(args[1:])
+	case "ci-demo":
+		return ciDemo()
+	case "spec":
+		return specCmd(args[1:])
+	case "find":
+		return findCmd(args[1:])
+	case "dashboard":
+		return dashboardCmd(args[1:])
+	case "regressions":
+		return regressionsCmd(args[1:])
+	case "archive":
+		return archiveCmd(args[1:])
+	case "provision":
+		return provisionCmd(args[1:])
+	case "report":
+		return reportCmd(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	if len(args) != 3 {
+		usage()
+		return fmt.Errorf("expected: benchpark <suite> <system> <workspace-dir>")
+	}
+	return runSuite(args[0], args[1], args[2])
+}
+
+func usage() {
+	fmt.Println(`usage:
+  benchpark <experiment-suite> <system> <workspace-dir>
+  benchpark suites | systems | components | figure14 [p ...] | ci-demo
+  benchpark spec <system> <spec>       concretize and print the DAG
+  benchpark find <system> [constraint] list installed packages
+  benchpark dashboard [out.html]       render the results dashboard
+  benchpark regressions <json> <bench> <fom>
+  benchpark archive <suite> <system> <out.tar.gz>
+  benchpark provision <name> <instance-type> <nodes> [suite]
+  benchpark report [out.md] [-full]`)
+}
+
+func runSuite(suite, system, dir string) error {
+	bp := core.New()
+	sess, err := bp.Setup(suite, system, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==> workspace %s for %s on %s\n", dir, suite, system)
+	rep, err := sess.RunAll()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==> %d experiments: %d succeeded, %d failed\n", rep.Total, rep.Succeeded, rep.Failed)
+	for _, e := range rep.Experiments {
+		fmt.Printf("  %-40s %-9s", e.Name, e.Status)
+		if e.Status == ramble.Succeeded {
+			for _, k := range []string{"saxpy_time", "fom", "total_time", "triad_bw"} {
+				if v, ok := e.FOMs[k]; ok {
+					fmt.Printf("  %s=%s", k, v)
+				}
+			}
+		} else {
+			fmt.Printf("  %s", e.FailMsg)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("==> batch makespan %.1fs (simulated), utilization %.1f%%\n",
+		sess.Scheduler.Makespan(), 100*sess.Scheduler.Utilization())
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d experiments failed", rep.Failed)
+	}
+	return nil
+}
+
+func figure14(args []string) error {
+	var scales []int
+	svgOut := ""
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "-svg" || a == "--svg" {
+			if i+1 >= len(args) {
+				return fmt.Errorf("-svg needs a file path")
+			}
+			svgOut = args[i+1]
+			i++
+			continue
+		}
+		n, err := strconv.Atoi(a)
+		if err != nil {
+			return fmt.Errorf("bad scale %q", a)
+		}
+		scales = append(scales, n)
+	}
+	study, err := core.Figure14Study(scales)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==> MPI_Bcast on %s: scales %v (this sweeps a real %d-rank simulation)\n",
+		study.System.Name, study.Scales, study.Scales[len(study.Scales)-1])
+	res, err := study.Run(core.New())
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(core.RenderFigure14(res))
+	fmt.Println("\nmeasurements:")
+	for _, m := range res.Measurements {
+		fmt.Printf("  p=%6.0f  total=%10.3f s   model=%10.3f s\n", m.P, m.Value, res.Model.Eval(m.P))
+	}
+	if svgOut != "" {
+		svg := dashboard.ScalingSVG("CTS Extra-P Model — MPI_Bcast total time", res.Measurements, res.Model)
+		if err := os.WriteFile(svgOut, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nSVG plot written to %s\n", svgOut)
+	}
+	return nil
+}
+
+func ciDemo() error {
+	bp := core.New()
+	dir, err := os.MkdirTemp("", "benchpark-ci-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	auto, err := core.NewAutomation(bp, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Println("==> contributor 'jens' opens a PR; site admin 'olga' approves")
+	res, err := auto.SubmitContribution("jens", "add RIKEN notes",
+		map[string]string{"docs/riken.md": "results"}, "olga")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==> pipeline #%d: %s\n", res.Pipeline.ID, res.Pipeline.Status())
+	for _, j := range res.Pipeline.Jobs {
+		fmt.Printf("  job %-14s %-8s ran-as=%s\n%s\n", j.Name, j.Status, j.RunAs, indent(j.Log))
+	}
+	fmt.Printf("==> PR state: %s; %d benchmark results recorded\n", res.PR.State, len(res.Results))
+	return nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "      " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunListCommands(t *testing.T) {
+	for _, args := range [][]string{
+		{"suites"},
+		{"systems"},
+		{"components"},
+		{"help"},
+		{},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunSpecCmd(t *testing.T) {
+	if err := run([]string{"spec", "cts1", "saxpy+openmp"}); err != nil {
+		t.Errorf("spec: %v", err)
+	}
+	if err := run([]string{"spec", "nosuchsystem", "saxpy"}); err == nil {
+		t.Error("unknown system should fail")
+	}
+	if err := run([]string{"spec", "cts1"}); err == nil {
+		t.Error("missing spec should fail")
+	}
+	if err := run([]string{"spec", "cts1", "@@@"}); err == nil {
+		t.Error("bad spec should fail")
+	}
+}
+
+func TestRunFindCmd(t *testing.T) {
+	if err := run([]string{"find", "cts1"}); err != nil {
+		t.Errorf("find: %v", err)
+	}
+	if err := run([]string{"find", "cts1", "cmake"}); err != nil {
+		t.Errorf("find with constraint: %v", err)
+	}
+	if err := run([]string{"find"}); err == nil {
+		t.Error("missing system should fail")
+	}
+}
+
+func TestRunSuiteEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"saxpy/openmp", "cts1", dir}); err != nil {
+		t.Fatalf("suite run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "logs", "results.json")); err != nil {
+		t.Errorf("results artifact missing: %v", err)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run([]string{"only-one-arg-that-is-not-a-command", "x"}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := run([]string{"nope/nope", "cts1", t.TempDir()}); err == nil {
+		t.Error("unknown suite should fail")
+	}
+	if err := run([]string{"figure14", "not-a-number"}); err == nil {
+		t.Error("bad scale should fail")
+	}
+}
+
+func TestRunRegressionsCmd(t *testing.T) {
+	// Build a database file with an obvious regression.
+	js := `[
+	  {"id":1,"seq":1,"benchmark":"saxpy","foms":{"time":1.0}},
+	  {"id":2,"seq":2,"benchmark":"saxpy","foms":{"time":1.0}},
+	  {"id":3,"seq":3,"benchmark":"saxpy","foms":{"time":1.0}},
+	  {"id":4,"seq":4,"benchmark":"saxpy","foms":{"time":1.0}},
+	  {"id":5,"seq":5,"benchmark":"saxpy","foms":{"time":1.0}},
+	  {"id":6,"seq":6,"benchmark":"saxpy","foms":{"time":2.5}}
+	]`
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"regressions", path, "saxpy", "time"}); err != nil {
+		t.Errorf("regressions: %v", err)
+	}
+	if err := run([]string{"regressions", "/nonexistent.json", "saxpy", "time"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run([]string{"regressions", path}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+}
+
+func TestRunArchiveCmd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ws.tar.gz")
+	if err := run([]string{"archive", "saxpy/openmp", "cts1", out}); err != nil {
+		t.Fatalf("archive: %v", err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil || fi.Size() == 0 {
+		t.Errorf("archive file: %v", err)
+	}
+	if err := run([]string{"archive", "saxpy/openmp"}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+}
+
+func TestRunFigure14WithSVG(t *testing.T) {
+	svg := filepath.Join(t.TempDir(), "fig14.svg")
+	if err := run([]string{"figure14", "36", "72", "144", "-svg", svg}); err != nil {
+		t.Fatalf("figure14: %v", err)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "circle") {
+		t.Error("svg content wrong")
+	}
+	if err := run([]string{"figure14", "-svg"}); err == nil {
+		t.Error("-svg without path should fail")
+	}
+}
+
+func TestRunCIDemo(t *testing.T) {
+	if err := run([]string{"ci-demo"}); err != nil {
+		t.Fatalf("ci-demo: %v", err)
+	}
+}
+
+func TestRunDashboardCmd(t *testing.T) {
+	html := filepath.Join(t.TempDir(), "dash.html")
+	if err := run([]string{"dashboard", html}); err != nil {
+		t.Fatalf("dashboard: %v", err)
+	}
+	data, err := os.ReadFile(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<table>", "saxpy", "stream"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+}
+
+func TestRunProvisionCmd(t *testing.T) {
+	if err := run([]string{"provision", "cli-test-burst", "c5n.18xlarge", "8"}); err != nil {
+		t.Fatalf("provision: %v", err)
+	}
+	if err := run([]string{"provision", "cli-test-burst", "c5n.18xlarge", "8"}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if err := run([]string{"provision", "x", "bad-type", "8"}); err == nil {
+		t.Error("bad type should fail")
+	}
+	if err := run([]string{"provision", "y", "c5n.18xlarge", "NaN"}); err == nil {
+		t.Error("bad count should fail")
+	}
+}
+
+func TestRunReportCmd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report reruns the reproduction experiments")
+	}
+	out := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"report", out}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Figure 14") || !strings.Contains(string(data), "MATCH") {
+		t.Error("report content wrong")
+	}
+}
+
+func TestRunSuiteFailurePath(t *testing.T) {
+	// saxpy/cuda on a CPU system fails at setup, through the CLI.
+	if err := run([]string{"saxpy/cuda", "cts1", t.TempDir()}); err == nil {
+		t.Error("incompatible suite should fail")
+	}
+}

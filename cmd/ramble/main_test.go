@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFigure5CommandSequence drives the exact five-command workflow
+// of the paper's Figure 5 across separate invocations, with all state
+// living in the workspace directory between commands.
+func TestFigure5CommandSequence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ws")
+	// ramble workspace create
+	if err := run([]string{"workspace", "create", "-d", dir, "--suite", "saxpy/openmp", "--system", "cts1"}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	// (workspace edit = the user touching configs/ramble.yaml; state is on disk)
+	if _, err := os.Stat(filepath.Join(dir, "configs", "ramble.yaml")); err != nil {
+		t.Fatalf("ramble.yaml missing: %v", err)
+	}
+	// ramble workspace setup
+	if err := run([]string{"workspace", "setup", "-d", dir}); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	// ramble on
+	if err := run([]string{"on", "-d", dir}); err != nil {
+		t.Fatalf("on: %v", err)
+	}
+	// Outputs persisted on disk for the next invocation.
+	outs, err := filepath.Glob(filepath.Join(dir, "experiments", "saxpy", "problem", "*", "*.out"))
+	if err != nil || len(outs) != 8 {
+		t.Fatalf("outputs = %d, %v", len(outs), err)
+	}
+	// ramble workspace analyze (fresh process: recovers outputs from disk)
+	if err := run([]string{"workspace", "analyze", "-d", dir}); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	// ramble workspace archive
+	arch := filepath.Join(t.TempDir(), "ws.tar.gz")
+	if err := run([]string{"workspace", "archive", "-d", dir, "-o", arch}); err != nil {
+		t.Fatalf("archive: %v", err)
+	}
+	if fi, err := os.Stat(arch); err != nil || fi.Size() == 0 {
+		t.Errorf("archive: %v", err)
+	}
+}
+
+func TestEditBetweenCommands(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ws")
+	if err := run([]string{"workspace", "create", "-d", dir, "--suite", "stream/triad", "--system", "cts1"}); err != nil {
+		t.Fatal(err)
+	}
+	// `ramble workspace edit`: the user shrinks the problem.
+	path := filepath.Join(dir, "configs", "ramble.yaml")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := string(data)
+	edited = replaceOnce(edited, "n: '10000000'", "n: '1000'")
+	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"on", "-d", dir}); err != nil {
+		t.Fatal(err)
+	}
+	// The edit took effect in the generated scripts.
+	scripts, _ := filepath.Glob(filepath.Join(dir, "experiments", "stream", "triad", "*", "execute_experiment.sh"))
+	if len(scripts) == 0 {
+		t.Fatal("no scripts")
+	}
+	content, _ := os.ReadFile(scripts[0])
+	if !contains(string(content), "-n 1000 ") && !contains(string(content), "-n 1000\n") {
+		t.Errorf("edited n not in script:\n%s", content)
+	}
+}
+
+func TestErrorsWithoutWorkspace(t *testing.T) {
+	for _, args := range [][]string{
+		{"workspace", "setup", "-d", "/nonexistent-ws"},
+		{"on", "-d", "/nonexistent-ws"},
+		{"workspace", "analyze", "-d", "/nonexistent-ws"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+	if err := run([]string{"workspace", "create", "-d", t.TempDir()}); err == nil {
+		t.Error("create without suite/system should fail")
+	}
+	if err := run([]string{"workspace"}); err == nil {
+		t.Error("bare workspace should fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command should fail")
+	}
+	if err := run([]string{"on"}); err == nil {
+		t.Error("on without -d should fail")
+	}
+	if err := run(nil); err != nil {
+		t.Errorf("bare invocation prints usage: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && index(s, sub) >= 0
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func replaceOnce(s, old, new string) string {
+	i := index(s, old)
+	if i < 0 {
+		return s
+	}
+	return s[:i] + new + s[i+len(old):]
+}

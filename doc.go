@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Towards
+// Collaborative Continuous Benchmarking for HPC" (Pearce et al.,
+// SC-W 2023): the Benchpark continuous-benchmarking framework and
+// every substrate it stands on — a Spack-like package manager with a
+// spec language and concretizer, an Archspec-like microarchitecture
+// library, a Ramble-like experimentation framework, simulated HPC
+// systems with a batch scheduler and an MPI runtime, real benchmark
+// kernels (saxpy, an AMG2023 proxy, STREAM, OSU collectives), the
+// Caliper/Adiak/Thicket/Extra-P analysis stack, and the
+// GitHub→Hubcast→GitLab-CI→Jacamar automation loop.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record, and bench_test.go for the harness
+// that regenerates every table and figure.
+package repro

@@ -1,0 +1,64 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun smoke-tests every runnable example end to end via
+// `go run`, asserting on their key output lines. Guarded by -short
+// because each invocation compiles the example.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile+run via go run")
+	}
+	cases := []struct {
+		pkg   string
+		wants []string
+	}{
+		{"./examples/quickstart", []string{
+			"Step 1: user clones the Benchpark repository",
+			"Results: 8 experiments, 8 succeeded",
+			"Software environment (locked):",
+		}},
+		{"./examples/ci-pipeline", []string{
+			"rejected by Hubcast",
+			"jacamar-ran-as=olga",
+			"REGRESSION at seq",
+		}},
+		{"./examples/cloud-compare", []string{
+			"CRASH — SIGILL",
+			"8/8 experiments passed",
+			"cloud/on-prem bcast slowdown",
+		}},
+		{"./examples/collaboration", []string{
+			"hashes verified",
+			"reproduced bit-for-bit",
+		}},
+		{"./examples/procurement", []string{
+			"Scorecard (weighted geometric-mean speedup vs cts1)",
+			"Recommendation:",
+		}},
+		{"./examples/acceptance", []string{
+			"=> system ACCEPTED",
+			"=> system REJECTED",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.pkg, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.pkg).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.pkg, err, out)
+			}
+			text := string(out)
+			for _, want := range c.wants {
+				if !strings.Contains(text, want) {
+					t.Errorf("%s output missing %q", c.pkg, want)
+				}
+			}
+		})
+	}
+}

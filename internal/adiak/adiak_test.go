@@ -1,0 +1,94 @@
+package adiak
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSetGet(t *testing.T) {
+	m := New()
+	m.Set("cluster", "cts1")
+	m.Setf("n_ranks", "%d", 8)
+	if v, ok := m.Get("cluster"); !ok || v != "cts1" {
+		t.Errorf("cluster = %q %v", v, ok)
+	}
+	if v, _ := m.Get("n_ranks"); v != "8" {
+		t.Errorf("n_ranks = %q", v)
+	}
+	if _, ok := m.Get("absent"); ok {
+		t.Error("absent key should not exist")
+	}
+	if m.Len() != 2 {
+		t.Errorf("len = %d", m.Len())
+	}
+}
+
+func TestMatches(t *testing.T) {
+	m := New()
+	m.Set("cluster", "cts1")
+	m.Set("compiler", "gcc@12.1.1")
+	if !m.Matches("cluster=cts1") {
+		t.Error("single selector")
+	}
+	if !m.Matches("cluster=cts1", "compiler=gcc@12.1.1") {
+		t.Error("multi selector")
+	}
+	if m.Matches("cluster=ats2") {
+		t.Error("wrong value should not match")
+	}
+	if m.Matches("missing=x") {
+		t.Error("missing key should not match")
+	}
+	if m.Matches("malformed") {
+		t.Error("selector without '=' should not match")
+	}
+}
+
+func TestCloneAndMerge(t *testing.T) {
+	a := New()
+	a.Set("k", "v1")
+	b := a.Clone()
+	b.Set("k", "v2")
+	if v, _ := a.Get("k"); v != "v1" {
+		t.Error("clone mutated original")
+	}
+	a.Merge(b)
+	if v, _ := a.Get("k"); v != "v2" {
+		t.Error("merge should overwrite")
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	m := New()
+	m.Set("z", "1")
+	m.Set("a", "2")
+	s := m.String()
+	if !strings.HasPrefix(s, "a=2") || !strings.Contains(s, "z=1") {
+		t.Errorf("string = %q", s)
+	}
+}
+
+func TestCollectDefaults(t *testing.T) {
+	m := New()
+	CollectDefaults(m, "saxpy", "cts1", "benchpark")
+	for _, k := range []string{"executable", "cluster", "user", "adiak_version"} {
+		if _, ok := m.Get(k); !ok {
+			t.Errorf("default %q missing", k)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var m *Metadata
+	if m.Len() != 0 || m.Names() != nil {
+		t.Error("nil metadata should behave as empty")
+	}
+	if _, ok := m.Get("x"); ok {
+		t.Error("nil Get")
+	}
+	c := m.Clone()
+	c.Set("x", "1")
+	if c.Len() != 1 {
+		t.Error("clone of nil should be usable")
+	}
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/mpisim"
+)
+
+// procGrid maps MPI ranks onto a 3-D process grid (px × py × pz),
+// x-fastest: rank = ix + px·(iy + py·iz).
+type procGrid struct {
+	px, py, pz int
+	ix, iy, iz int
+	rank, size int
+}
+
+// newProcGrid validates the decomposition and locates the rank.
+// A zero/invalid product falls back to a 1-D z decomposition.
+func newProcGrid(rank, size, px, py, pz int) procGrid {
+	if px < 1 || py < 1 || pz < 1 || px*py*pz != size {
+		px, py, pz = 1, 1, size
+	}
+	return procGrid{
+		px: px, py: py, pz: pz,
+		ix: rank % px, iy: (rank / px) % py, iz: rank / (px * py),
+		rank: rank, size: size,
+	}
+}
+
+// neighbor returns the global rank of the neighbor along dim
+// (0=x,1=y,2=z) in direction dir (-1 or +1); ok=false at the global
+// boundary.
+func (g procGrid) neighbor(dim, dir int) (int, bool) {
+	ix, iy, iz := g.ix, g.iy, g.iz
+	switch dim {
+	case 0:
+		ix += dir
+		if ix < 0 || ix >= g.px {
+			return 0, false
+		}
+	case 1:
+		iy += dir
+		if iy < 0 || iy >= g.py {
+			return 0, false
+		}
+	case 2:
+		iz += dir
+		if iz < 0 || iz >= g.pz {
+			return 0, false
+		}
+	}
+	return ix + g.px*(iy+g.py*iz), true
+}
+
+// halos carries the six neighbor boundary planes of a local grid
+// (nil at global boundaries, where the operator applies Dirichlet
+// zero).
+type halos struct {
+	xlo, xhi []float64 // planes at i=-1 / i=nx, indexed j + ny*k
+	ylo, yhi []float64 // planes at j=-1 / j=ny, indexed i + nx*k
+	zlo, zhi []float64 // planes at k=-1 / k=nz, indexed i + nx*j
+}
+
+// packPlane extracts one boundary plane of u along dim at the given
+// face (0 = low face, 1 = high face).
+func packPlane(u *grid, dim, face int) []float64 {
+	switch dim {
+	case 0:
+		i := 0
+		if face == 1 {
+			i = u.nx - 1
+		}
+		out := make([]float64, u.ny*u.nz)
+		for k := 0; k < u.nz; k++ {
+			for j := 0; j < u.ny; j++ {
+				out[j+u.ny*k] = u.v[u.idx(i, j, k)]
+			}
+		}
+		return out
+	case 1:
+		j := 0
+		if face == 1 {
+			j = u.ny - 1
+		}
+		out := make([]float64, u.nx*u.nz)
+		for k := 0; k < u.nz; k++ {
+			for i := 0; i < u.nx; i++ {
+				out[i+u.nx*k] = u.v[u.idx(i, j, k)]
+			}
+		}
+		return out
+	default:
+		k := 0
+		if face == 1 {
+			k = u.nz - 1
+		}
+		out := make([]float64, u.nx*u.ny)
+		copy(out, u.v[k*u.nx*u.ny:(k+1)*u.nx*u.ny])
+		return out
+	}
+}
+
+// exchangeHalo3D swaps all six boundary planes with the process-grid
+// neighbors. Sends are posted for every face first (the eager runtime
+// buffers them), then receives complete; the deterministic
+// fixed-order protocol is deadlock-free.
+func exchangeHalo3D(c *mpisim.Comm, u *grid, pg procGrid) halos {
+	type edge struct {
+		dim, dir int
+		peer     int
+	}
+	var edges []edge
+	for dim := 0; dim < 3; dim++ {
+		for _, dir := range []int{-1, 1} {
+			if peer, ok := pg.neighbor(dim, dir); ok {
+				edges = append(edges, edge{dim: dim, dir: dir, peer: peer})
+			}
+		}
+	}
+	for _, e := range edges {
+		face := 0
+		if e.dir == 1 {
+			face = 1
+		}
+		c.Send(e.peer, packPlane(u, e.dim, face))
+	}
+	var h halos
+	for _, e := range edges {
+		plane := c.Recv(e.peer)
+		switch {
+		case e.dim == 0 && e.dir == -1:
+			h.xlo = plane
+		case e.dim == 0 && e.dir == 1:
+			h.xhi = plane
+		case e.dim == 1 && e.dir == -1:
+			h.ylo = plane
+		case e.dim == 1 && e.dir == 1:
+			h.yhi = plane
+		case e.dim == 2 && e.dir == -1:
+			h.zlo = plane
+		default:
+			h.zhi = plane
+		}
+	}
+	return h
+}
+
+// validateDecomposition checks a requested process grid against the
+// rank count, with a helpful error.
+func validateDecomposition(ranks, px, py, pz int) error {
+	if px < 1 || py < 1 || pz < 1 {
+		return fmt.Errorf("bench: process grid %dx%dx%d has non-positive extent", px, py, pz)
+	}
+	if px*py*pz != ranks {
+		return fmt.Errorf("bench: process grid %dx%dx%d needs %d ranks, job has %d",
+			px, py, pz, px*py*pz, ranks)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/caliper"
+	"repro/internal/mpisim"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "saxpy",
+		Description: "Test saxpy problem: r[i] = A*x[i] + y[i] (Figure 7 of the paper)",
+		Workloads:   []string{"problem"},
+		Run:         runSaxpy,
+	})
+}
+
+// saxpyKernel is the paper's Figure 7 kernel, verbatim in Go.
+func saxpyKernel(r, x, y []float32, a float32) {
+	for i := range r {
+		r[i] = a*x[i] + y[i]
+	}
+}
+
+// maxRealElems bounds the allocation actually touched per rank; the
+// time for the full problem size is charged to the simulated clock.
+const maxRealElems = 1 << 22
+
+func runSaxpy(p Params) (*Output, error) {
+	if err := validate(&p); err != nil {
+		return nil, err
+	}
+	n, err := p.IntVar("n", 1)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("saxpy: problem size n = %d", n)
+	}
+	const a = float32(2.0)
+
+	useGPU := p.Variant == "cuda" || p.Variant == "rocm"
+	if useGPU {
+		gpu := p.System.Node.GPU
+		if gpu == nil {
+			return nil, fmt.Errorf("saxpy: variant %q but system %s has no GPUs", p.Variant, p.System.Name)
+		}
+		if gpu.Runtime != p.Variant {
+			return nil, fmt.Errorf("saxpy: variant %q but %s GPUs use %s", p.Variant, p.System.Name, gpu.Runtime)
+		}
+	}
+
+	// Fault injection for failure-path testing: inject_failure=<rank>
+	// makes that rank abort mid-kernel (a simulated node fault).
+	failRank, err := p.IntVar("inject_failure", -1)
+	if err != nil {
+		return nil, err
+	}
+
+	profiles := make([]*caliper.Profile, p.Ranks)
+	var firstText string
+	res, err := mpisim.Run(p.System, p.Ranks, p.RanksPerNode, func(c *mpisim.Comm) error {
+		if c.Rank() == failRank {
+			return fmt.Errorf("saxpy: rank %d received SIGBUS (injected node fault)", c.Rank())
+		}
+		rec := caliper.NewRecorder(c.Now)
+		rec.Begin("main")
+
+		real := n
+		if real > maxRealElems {
+			real = maxRealElems
+		}
+		x := make([]float32, real)
+		y := make([]float32, real)
+		r := make([]float32, real)
+		for i := range x {
+			x[i] = float32(i%97) * 0.5
+			y[i] = float32(i%31) * 0.25
+		}
+
+		rec.Begin("saxpy_kernel")
+		saxpyKernel(r, x, y, a)
+		// Charge the full problem: 3 arrays streamed, 4 bytes each.
+		if useGPU {
+			if err := c.ComputeOnGPU(2*float64(n), 12*float64(n)); err != nil {
+				return err
+			}
+		} else {
+			chargeMemory(c, p, 12*float64(n))
+		}
+		if err := rec.End("saxpy_kernel"); err != nil {
+			return err
+		}
+		rec.AddMetric("elements", float64(n))
+
+		// Verify: checksum of the touched region agrees across ranks.
+		var local float64
+		for i := range r {
+			local += float64(r[i])
+		}
+		rec.Begin("checksum")
+		global := c.Allreduce([]float64{local}, mpisim.OpSum)
+		if err := rec.End("checksum"); err != nil {
+			return err
+		}
+		if err := rec.End("main"); err != nil {
+			return err
+		}
+		prof, err := rec.Snapshot()
+		if err != nil {
+			return err
+		}
+		profiles[c.Rank()] = prof
+
+		if c.Rank() == 0 {
+			want := float64(p.Ranks) * local
+			status := "ok"
+			if diff := global[0] - want; diff > 1e-6 || diff < -1e-6 {
+				status = "MISMATCH"
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "saxpy: n=%d ranks=%d threads=%d variant=%s\n", n, p.Ranks, p.Threads, variantLabel(p))
+			fmt.Fprintf(&b, "checksum: %.6e (%s)\n", global[0], status)
+			fmt.Fprintf(&b, "saxpy_time: %.9f s\n", c.Now())
+			writePAPI(&b, p, 2*float64(n)*float64(p.Ranks), 12*float64(n)*float64(p.Ranks))
+			fmt.Fprintf(&b, "Kernel done\n")
+			firstText = b.String()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	md := baseMetadata("saxpy", p)
+	md.Setf("n", "%d", n)
+	return &Output{
+		Text:     firstText,
+		Elapsed:  res.MaxTime,
+		Profile:  caliper.MergeRanks(profiles),
+		Metadata: md,
+	}, nil
+}
+
+func variantLabel(p Params) string {
+	if p.Variant == "" {
+		return "openmp"
+	}
+	return p.Variant
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/caliper"
+	"repro/internal/mpisim"
+)
+
+func init() {
+	register(Benchmark{
+		Name:        "stream",
+		Description: "STREAM triad: sustained memory bandwidth (a[i] = b[i] + s*c[i])",
+		Workloads:   []string{"triad"},
+		Run:         runStream,
+	})
+}
+
+func runStream(p Params) (*Output, error) {
+	if err := validate(&p); err != nil {
+		return nil, err
+	}
+	n, err := p.IntVar("n", 10_000_000)
+	if err != nil {
+		return nil, err
+	}
+	iters, err := p.IntVar("iterations", 10)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 || iters <= 0 {
+		return nil, fmt.Errorf("stream: n=%d iterations=%d", n, iters)
+	}
+	const s = 3.0
+
+	profiles := make([]*caliper.Profile, p.Ranks)
+	var text string
+	res, err := mpisim.Run(p.System, p.Ranks, p.RanksPerNode, func(c *mpisim.Comm) error {
+		rec := caliper.NewRecorder(c.Now)
+		realN := n
+		if realN > maxRealElems {
+			realN = maxRealElems
+		}
+		a := make([]float64, realN)
+		b := make([]float64, realN)
+		cc := make([]float64, realN)
+		for i := range b {
+			b[i] = 1.0
+			cc[i] = 2.0
+		}
+		rec.Begin("triad")
+		start := c.Now()
+		for it := 0; it < iters; it++ {
+			for i := range a {
+				a[i] = b[i] + s*cc[i]
+			}
+			chargeMemory(c, p, 24*float64(n)) // 3 arrays × 8 bytes
+		}
+		if err := rec.End("triad"); err != nil {
+			return err
+		}
+		perRankGBs := 24 * float64(n) * float64(iters) / (c.Now() - start) / 1e9
+
+		// Aggregate node bandwidth = sum over the ranks of one node;
+		// report the min across ranks as STREAM does.
+		minBW := c.Allreduce([]float64{perRankGBs}, mpisim.OpMin)
+		prof, err := rec.Snapshot()
+		if err != nil {
+			return err
+		}
+		profiles[c.Rank()] = prof
+		if c.Rank() == 0 {
+			nodeBW := minBW[0] * float64(c.RanksPerNode())
+			text = fmt.Sprintf("STREAM triad: n=%d iterations=%d\nTriad: %.2f GB/s per node\nBest rank rate: %.2f GB/s\nKernel done\n",
+				n, iters, nodeBW, perRankGBs)
+			if a[0] != b[0]+s*cc[0] {
+				text += "VALIDATION FAILED\n"
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	md := baseMetadata("stream", p)
+	md.Setf("n", "%d", n)
+	return &Output{Text: text, Elapsed: res.MaxTime, Profile: caliper.MergeRanks(profiles), Metadata: md}, nil
+}

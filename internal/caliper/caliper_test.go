@@ -1,0 +1,198 @@
+package caliper
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) now() float64      { return c.t }
+func (c *fakeClock) advance(d float64) { c.t += d }
+
+func TestRegionTiming(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk.now)
+	r.Begin("main")
+	clk.advance(1)
+	r.Begin("solve")
+	clk.advance(2)
+	if err := r.End("solve"); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(0.5)
+	if err := r.End("main"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Region("main").Total; math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("main total = %v", got)
+	}
+	if got := p.Region("main/solve").Total; math.Abs(got-2) > 1e-12 {
+		t.Errorf("main/solve total = %v", got)
+	}
+	if len(p.Paths()) != 2 {
+		t.Errorf("paths = %v", p.Paths())
+	}
+}
+
+func TestRepeatedRegionStats(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk.now)
+	for i, d := range []float64{1, 3, 2} {
+		r.Begin("iter")
+		clk.advance(d)
+		if err := r.End("iter"); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+	p, _ := r.Snapshot()
+	st := p.Region("iter")
+	if st.Count != 3 || st.Total != 6 || st.Min != 1 || st.Max != 3 || st.Mean() != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMismatchedEnd(t *testing.T) {
+	r := NewRecorder(func() float64 { return 0 })
+	r.Begin("a")
+	if err := r.End("b"); err == nil {
+		t.Error("mismatched End should error")
+	}
+	if err := r.End("a"); err != nil {
+		t.Errorf("matching End after failed End: %v", err)
+	}
+	if err := r.End("a"); err == nil {
+		t.Error("End on empty stack should error")
+	}
+}
+
+func TestSnapshotWithOpenRegion(t *testing.T) {
+	r := NewRecorder(func() float64 { return 0 })
+	r.Begin("open")
+	if _, err := r.Snapshot(); err == nil {
+		t.Error("snapshot with open region should error")
+	}
+}
+
+func TestWrapAndMetrics(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk.now)
+	err := r.Wrap("kernel", func() {
+		clk.advance(4)
+		r.AddMetric("bytes", 100)
+		r.AddMetric("bytes", 50)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := r.Snapshot()
+	if p.Region("kernel").Total != 4 {
+		t.Errorf("kernel = %+v", p.Region("kernel"))
+	}
+	if p.Metrics["bytes"] != 150 {
+		t.Errorf("bytes = %v", p.Metrics["bytes"])
+	}
+}
+
+func TestMergeRanks(t *testing.T) {
+	mk := func(total float64) *Profile {
+		p := NewProfile()
+		p.Regions["solve"] = RegionStat{Count: 2, Total: total, Min: total / 3, Max: 2 * total / 3}
+		p.Metrics["iters"] = 10
+		return p
+	}
+	merged := MergeRanks([]*Profile{mk(3), mk(9), mk(6)})
+	st := merged.Region("solve")
+	if st.Count != 6 {
+		t.Errorf("count = %d", st.Count)
+	}
+	if st.Total != 9 { // critical rank
+		t.Errorf("total = %v (want max across ranks)", st.Total)
+	}
+	if st.Min != 1 || st.Max != 6 {
+		t.Errorf("min/max = %v/%v", st.Min, st.Max)
+	}
+	if merged.Metrics["iters"] != 30 {
+		t.Errorf("iters = %v", merged.Metrics["iters"])
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := MergeRanks(nil)
+	if len(m.Regions) != 0 || len(m.Metrics) != 0 {
+		t.Error("merge of nothing should be empty")
+	}
+}
+
+func TestExclusiveTimes(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk.now)
+	r.Begin("main")
+	clk.advance(1) // main exclusive
+	r.Begin("solve")
+	clk.advance(2) // solve exclusive
+	r.Begin("matvec")
+	clk.advance(3)
+	_ = r.End("matvec")
+	_ = r.End("solve")
+	clk.advance(0.5) // more main exclusive
+	_ = r.End("main")
+	p, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Exclusive("main"); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("main exclusive = %v", got)
+	}
+	if got := p.Exclusive("main/solve"); math.Abs(got-2) > 1e-12 {
+		t.Errorf("solve exclusive = %v", got)
+	}
+	if got := p.Exclusive("main/solve/matvec"); math.Abs(got-3) > 1e-12 {
+		t.Errorf("matvec exclusive = %v (leaf exclusive == inclusive)", got)
+	}
+	if got := p.Exclusive("absent"); got != 0 {
+		t.Errorf("absent = %v", got)
+	}
+	// Breakdown sums to the root inclusive time.
+	var sum float64
+	for _, v := range p.ExclusiveBreakdown() {
+		sum += v
+	}
+	if math.Abs(sum-p.Region("main").Total) > 1e-12 {
+		t.Errorf("breakdown sum %v != root inclusive %v", sum, p.Region("main").Total)
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRecorder(clk.now)
+	r.Begin("main")
+	clk.advance(2.5)
+	_ = r.End("main")
+	r.AddMetric("iterations", 12)
+	p, _ := r.Snapshot()
+
+	js, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseProfile(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Region("main").Total != 2.5 || back.Metrics["iterations"] != 12 {
+		t.Errorf("round trip: %+v", back)
+	}
+	if _, err := ParseProfile("{not json"); err == nil {
+		t.Error("bad json should fail")
+	}
+	if _, err := ParseProfile(`{"format":"cali-v99"}`); err == nil {
+		t.Error("unknown format should fail")
+	}
+}

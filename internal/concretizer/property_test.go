@@ -1,0 +1,108 @@
+package concretizer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pkgrepo"
+	"repro/internal/spec"
+)
+
+// genAbstract builds a random but well-formed abstract request over
+// the builtin repository.
+func genAbstract(r *rand.Rand) *spec.Spec {
+	roots := []string{"saxpy", "amg2023", "caliper", "hypre", "stream", "hpcg", "lulesh", "adiak"}
+	s := spec.New(roots[r.Intn(len(roots))])
+	// Flip a boolean variant the package actually has.
+	variantsByPkg := map[string][]string{
+		"saxpy":   {"openmp"},
+		"amg2023": {"caliper", "openmp"},
+		"caliper": {"adiak", "papi"},
+		"hypre":   {"openmp", "mpi"},
+		"stream":  {"openmp"},
+		"hpcg":    {"openmp"},
+		"lulesh":  {"openmp"},
+	}
+	if vs := variantsByPkg[s.Name]; len(vs) > 0 && r.Intn(2) == 0 {
+		s.SetVariant(vs[r.Intn(len(vs))], spec.BoolVariant(r.Intn(2) == 0))
+	}
+	if r.Intn(3) == 0 {
+		s.Compiler = &spec.Compiler{Name: "gcc"}
+	}
+	if r.Intn(3) == 0 {
+		_ = s.AddDep(spec.MustParse("zlib@1.2.12"))
+	}
+	return s
+}
+
+// TestPropertyConcretizeSatisfiesInput: every successful
+// concretization must satisfy the abstract request — the fundamental
+// contract of the concretizer.
+func TestPropertyConcretizeSatisfiesInput(t *testing.T) {
+	c := newC(t)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		abstract := genAbstract(r)
+		concrete, err := c.Concretize(abstract.Clone())
+		if err != nil {
+			t.Fatalf("concretize %s: %v", abstract, err)
+		}
+		if !concrete.IsConcrete() {
+			t.Fatalf("%s: not concrete", abstract)
+		}
+		if !concrete.Satisfies(abstract) {
+			t.Fatalf("result does not satisfy input:\n in:  %s\n out: %s", abstract, concrete)
+		}
+		// Every node fully assigned.
+		concrete.Traverse(func(n *spec.Spec) {
+			if !n.IsConcrete() {
+				t.Fatalf("node %s of %s not concrete", n.Name, abstract)
+			}
+			if n.External == "" && n.Compiler == nil {
+				t.Fatalf("built node %s has no compiler", n.Name)
+			}
+			if n.Target == "" {
+				t.Fatalf("node %s has no target", n.Name)
+			}
+		})
+	}
+}
+
+// TestPropertyConcretizeIdempotent: concretizing the concrete result
+// again (as a constraint) must yield the identical DAG hash.
+func TestPropertyConcretizeIdempotent(t *testing.T) {
+	c := newC(t)
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		abstract := genAbstract(r)
+		first, err := c.Concretize(abstract.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := c.Concretize(abstract.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.DAGHash() != again.DAGHash() {
+			t.Fatalf("non-deterministic: %s vs %s", first, again)
+		}
+	}
+}
+
+// TestPropertyDAGAcyclic: concretized DAGs never contain cycles
+// (Traverse must terminate and visit each node once).
+func TestPropertyDAGAcyclic(t *testing.T) {
+	c := New(pkgrepo.Builtin(), testConfig(t))
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		concrete, err := c.Concretize(genAbstract(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		visits := 0
+		concrete.Traverse(func(*spec.Spec) { visits++ })
+		if visits == 0 || visits > 64 {
+			t.Fatalf("suspicious traversal count %d", visits)
+		}
+	}
+}

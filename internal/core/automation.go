@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ci"
+	"repro/internal/metricsdb"
+)
+
+// BenchparkCIYAML is the .gitlab-ci.yml a Benchpark deployment uses:
+// one build+bench job per participating site (Table 1 row 6:
+// "Hubcast@LLNL/RIKEN/AWS").
+const BenchparkCIYAML = `
+stages: [bench]
+bench-cts1:
+  stage: bench
+  script:
+  - benchpark saxpy/openmp cts1 ws-cts1
+  tags: [llnl, cts1]
+bench-cloud:
+  stage: bench
+  script:
+  - benchpark saxpy/openmp cloud-c5n ws-cloud
+  tags: [aws]
+`
+
+// Automation wires the Figure 6 loop: GitHub repo + users, Hubcast,
+// GitLab with site runners whose jobs execute real Benchpark
+// sessions, and the shared metrics database.
+type Automation struct {
+	Benchpark *Benchpark
+	GitHub    *ci.GitHub
+	GitLab    *ci.GitLab
+	Hubcast   *ci.Hubcast
+}
+
+// NewAutomation assembles a deployment with runners at LLNL and AWS.
+// workDir hosts the CI-run workspaces.
+func NewAutomation(bp *Benchpark, workDir string) (*Automation, error) {
+	canonical := ci.NewRepo("benchpark")
+	if _, err := canonical.Commit("main", "olga", "initial import", map[string]string{
+		".gitlab-ci.yml": BenchparkCIYAML,
+		"README.md":      "Benchpark: collaborative continuous benchmarking",
+	}); err != nil {
+		return nil, err
+	}
+	gh := ci.NewGitHub(canonical)
+	gh.AddUser(ci.User{Name: "olga", Trusted: true, SiteAdmin: true, SiteAccounts: []string{"LLNL"}})
+	gh.AddUser(ci.User{Name: "todd", Trusted: true, SiteAdmin: true, SiteAccounts: []string{"LLNL"}})
+	gh.AddUser(ci.User{Name: "jens", Trusted: true, SiteAccounts: []string{"RIKEN"}})
+	gh.AddUser(ci.User{Name: "heidi", Trusted: true, SiteAccounts: []string{"AWS"}})
+
+	gl := ci.NewGitLab(ci.NewRepo("benchpark-mirror"), gh)
+	a := &Automation{Benchpark: bp, GitHub: gh, GitLab: gl}
+	gl.RegisterRunner(&ci.Runner{
+		Name: "llnl-cts1", Site: "LLNL", Tags: []string{"llnl", "cts1"},
+		Exec: a.jobExecutor(workDir),
+	})
+	gl.RegisterRunner(&ci.Runner{
+		Name: "aws-cloud", Site: "AWS", Tags: []string{"aws"},
+		Exec: a.jobExecutor(workDir),
+	})
+	a.Hubcast = ci.NewHubcast(gh, gl, ci.SecurityCriteria{
+		RequireAdminApproval: true,
+		ProtectedPaths:       []string{".gitlab-ci.yml"},
+	})
+	return a, nil
+}
+
+// jobExecutor interprets "benchpark <suite> <system> <workspace>"
+// script lines by actually running the session — the Benchpark
+// executable of Table 1 row 6.
+func (a *Automation) jobExecutor(workDir string) ci.JobExecutor {
+	return func(job *ci.CIJob) (string, error) {
+		var log strings.Builder
+		for _, line := range job.Script {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[0] != "benchpark" {
+				fmt.Fprintf(&log, "$ %s\n(skipped: not a benchpark invocation)\n", line)
+				continue
+			}
+			suite, system, wsName := fields[1], fields[2], fields[3]
+			dir, err := os.MkdirTemp(workDir, wsName+"-*")
+			if err != nil {
+				return log.String(), err
+			}
+			sess, err := a.Benchpark.Setup(suite, system, dir)
+			if err != nil {
+				return log.String(), err
+			}
+			rep, err := sess.RunAll()
+			if err != nil {
+				return log.String(), err
+			}
+			fmt.Fprintf(&log, "$ %s\n%d experiments: %d succeeded, %d failed\n",
+				line, rep.Total, rep.Succeeded, rep.Failed)
+			if rep.Failed > 0 {
+				return log.String(), fmt.Errorf("%d experiments failed", rep.Failed)
+			}
+		}
+		return log.String(), nil
+	}
+}
+
+// RunNightly executes the CI pipeline against the canonical main
+// branch — the "in service" stage of Section 1, where continuous
+// benchmarking tracks system performance over time. Results accrue in
+// the shared metrics database; the caller can then run regression
+// detection over the series.
+func (a *Automation) RunNightly() (*ci.Pipeline, error) {
+	head, ok := a.GitHub.Canonical.Head("main")
+	if !ok || head == "" {
+		return nil, fmt.Errorf("benchpark: canonical main has no commits")
+	}
+	commit, ok := a.GitHub.Canonical.Get(head)
+	if !ok {
+		return nil, fmt.Errorf("benchpark: dangling main head")
+	}
+	a.GitLab.Mirror.ImportCommit(commit, "main")
+	// Nightly runs are triggered by the bot and pre-trusted: they
+	// execute under the service owner's identity.
+	return a.GitLab.RunPipeline(head, "benchpark-bot", "olga")
+}
+
+// ContributionResult summarizes one PR's trip through the Figure 6
+// loop.
+type ContributionResult struct {
+	PR       *ci.PullRequest
+	Pipeline *ci.Pipeline
+	Results  []metricsdb.Result
+}
+
+// SubmitContribution opens a PR from a contributor's fork, has an
+// admin approve it, syncs through Hubcast (running the pipelines on
+// the site runners), and merges on success.
+func (a *Automation) SubmitContribution(author, title string, files map[string]string, approver string) (*ContributionResult, error) {
+	fork := a.GitHub.Fork(author + "/benchpark")
+	if _, err := fork.Commit("contribution", author, title, files); err != nil {
+		return nil, err
+	}
+	pr, err := a.GitHub.OpenPR(title, author, fork, "contribution", "main")
+	if err != nil {
+		return nil, err
+	}
+	if err := a.GitHub.Approve(pr.ID, approver); err != nil {
+		return nil, err
+	}
+	before := a.Benchpark.Metrics.Len()
+	pipeline, err := a.Hubcast.Sync(pr.ID)
+	if err != nil {
+		return nil, err
+	}
+	if pipeline.Status() == ci.JobSuccess {
+		if err := a.GitHub.Merge(pr.ID); err != nil {
+			return nil, err
+		}
+	}
+	var fresh []metricsdb.Result
+	for _, r := range a.Benchpark.Metrics.Query(metricsdb.Filter{}) {
+		if r.Seq > before {
+			fresh = append(fresh, r)
+		}
+	}
+	return &ContributionResult{PR: pr, Pipeline: pipeline, Results: fresh}, nil
+}

@@ -1,0 +1,468 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/adiak"
+	"repro/internal/bench"
+	"repro/internal/buildcache"
+	"repro/internal/concretizer"
+	"repro/internal/env"
+	"repro/internal/hpcsim"
+	"repro/internal/install"
+	"repro/internal/metricsdb"
+	"repro/internal/pkgrepo"
+	"repro/internal/ramble"
+	"repro/internal/scheduler"
+	"repro/internal/spec"
+	"repro/internal/thicket"
+)
+
+// Benchpark is the shared state of a continuous-benchmarking
+// deployment: the package repository, the community binary cache, and
+// the metrics database results stream into.
+type Benchpark struct {
+	Repo    *pkgrepo.Repo
+	Cache   *buildcache.Cache
+	Metrics *metricsdb.DB
+}
+
+// New returns a Benchpark instance over the builtin package repo.
+func New() *Benchpark {
+	return &Benchpark{
+		Repo:    pkgrepo.Builtin(),
+		Cache:   buildcache.New(),
+		Metrics: metricsdb.New(),
+	}
+}
+
+// Session is one "benchpark $experiment $system $workspace"
+// invocation: a generated workspace bound to a system, with its own
+// concretizer, installer, and batch scheduler (Figure 1c steps 2-4).
+type Session struct {
+	Benchpark *Benchpark
+	System    *hpcsim.System
+	Suite     string
+	Config    *concretizer.Config
+	Installer *install.Installer
+	Workspace *ramble.Workspace
+	Scheduler *scheduler.Scheduler
+	Thicket   *thicket.Thicket
+	Lockfiles map[string]*env.Lockfile // software env name -> lockfile
+}
+
+// Setup implements Figure 1c steps 1-4: create the workspace, write
+// the system configs, instantiate Spack and Ramble, and generate the
+// workspace configuration from the experiment suite template.
+func (bp *Benchpark) Setup(suite, systemName, workspaceDir string) (*Session, error) {
+	sys, err := hpcsim.Get(systemName)
+	if err != nil {
+		return nil, err
+	}
+	gen, ok := experimentSuites[suite]
+	if !ok {
+		return nil, fmt.Errorf("benchpark: unknown experiment suite %q (have %v)",
+			suite, ExperimentTemplates())
+	}
+	rambleYAML, err := gen(sys)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg, err := ConcretizerConfig(sys)
+	if err != nil {
+		return nil, err
+	}
+	inst := install.New(bp.Repo)
+	inst.Cache = bp.Cache
+	inst.PushToCache = true
+
+	ws, err := ramble.NewWorkspace(suite+"@"+systemName, workspaceDir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := SystemConfigs(sys)
+	if err != nil {
+		return nil, err
+	}
+	for name, content := range files {
+		if err := ws.WriteConfig(name, content); err != nil {
+			return nil, err
+		}
+	}
+	if err := ws.Configure(rambleYAML); err != nil {
+		return nil, err
+	}
+
+	s := &Session{
+		Benchpark: bp,
+		System:    sys,
+		Suite:     suite,
+		Config:    cfg,
+		Installer: inst,
+		Workspace: ws,
+		Scheduler: scheduler.New(sys),
+		Thicket:   thicket.New(),
+		Lockfiles: map[string]*env.Lockfile{},
+	}
+	return s, nil
+}
+
+// installSoftware is the Ramble→Spack hook (Figure 1c step 6): each
+// named environment concretizes together and installs, keeping the
+// lockfile for provenance.
+func (s *Session) installSoftware(envName string, specs []string) error {
+	e := env.New(envName)
+	for _, str := range specs {
+		if err := e.Add(str); err != nil {
+			return err
+		}
+	}
+	// --reuse: anything already installed in this session is a
+	// concretization candidate for later environments.
+	var reuse []*spec.Spec
+	for _, rec := range s.Installer.DB.Find(spec.New("")) {
+		reuse = append(reuse, rec.Spec)
+	}
+	s.Config.ReuseInstalled = reuse
+	c := concretizer.New(s.Benchpark.Repo, s.Config)
+	if err := e.Concretize(c); err != nil {
+		return err
+	}
+	if _, err := e.Install(s.Installer); err != nil {
+		return err
+	}
+	lf, err := e.Lock()
+	if err != nil {
+		return err
+	}
+	s.Lockfiles[envName] = lf
+	return nil
+}
+
+// executor turns a generated experiment into a batch job running the
+// actual benchmark kernel on the simulated system (steps 7-8).
+func (s *Session) executor(e *ramble.Experiment) (string, float64, error) {
+	b, err := bench.Get(e.App.Name)
+	if err != nil {
+		return "", 0, err
+	}
+	params := bench.Params{
+		System:       s.System,
+		Ranks:        e.NRanks,
+		RanksPerNode: e.ProcsPerNode,
+		Threads:      e.NThreads,
+		Variant:      rawVar(e, "variant"),
+		Vars:         expandedVars(e),
+	}
+	var out *bench.Output
+	limitMin := 60.0
+	if t, err := e.Expander.Expand("{batch_time}"); err == nil {
+		fmt.Sscanf(t, "%f", &limitMin) //nolint:errcheck
+	}
+	job, err := s.Scheduler.Submit(e.Name, e.NNodes, limitMin*60, func() (float64, error) {
+		var rerr error
+		out, rerr = b.Run(params)
+		if rerr != nil {
+			return 0, rerr
+		}
+		return out.Elapsed, nil
+	})
+	if err != nil {
+		return "", 0, err
+	}
+	if err := s.Scheduler.Drain(); err != nil {
+		return "", 0, err
+	}
+	switch job.State {
+	case scheduler.Completed:
+	case scheduler.TimedOut:
+		return "", 0, job.Err
+	default:
+		return "", 0, job.Err
+	}
+
+	// Feed the analysis stack: Caliper profile + Adiak metadata into
+	// the session thicket, FOMs + manifest into the metrics database;
+	// persist the profile next to the experiment output (the .cali
+	// file always-on profiling leaves behind, Section 5).
+	md := out.Metadata
+	md.Setf("experiment", "%s", e.Name)
+	md.Setf("nprocs", "%d", e.NRanks)
+	s.Thicket.Add(out.Profile, md)
+	if cali, err := out.Profile.JSON(); err == nil {
+		_ = os.WriteFile(filepath.Join(e.Dir, e.Name+".cali"), []byte(cali), 0o644)
+	}
+	return out.Text, out.Elapsed, nil
+}
+
+// NewSessionForWorkspace binds an already-configured workspace (e.g.
+// one reopened from disk by the ramble CLI) to a system, giving it a
+// fresh concretizer, installer and scheduler.
+func NewSessionForWorkspace(bp *Benchpark, sys *hpcsim.System, ws *ramble.Workspace) (*Session, error) {
+	cfg, err := ConcretizerConfig(sys)
+	if err != nil {
+		return nil, err
+	}
+	inst := install.New(bp.Repo)
+	inst.Cache = bp.Cache
+	inst.PushToCache = true
+	return &Session{
+		Benchpark: bp,
+		System:    sys,
+		Suite:     ws.Name,
+		Config:    cfg,
+		Installer: inst,
+		Workspace: ws,
+		Scheduler: scheduler.New(sys),
+		Thicket:   thicket.New(),
+		Lockfiles: map[string]*env.Lockfile{},
+	}, nil
+}
+
+// InstallSoftware is the exported Ramble→Spack hook for external
+// drivers (the ramble CLI).
+func (s *Session) InstallSoftware(envName string, specs []string) error {
+	return s.installSoftware(envName, specs)
+}
+
+// Executor is the exported scheduler-backed experiment executor.
+func (s *Session) Executor(e *ramble.Experiment) (string, float64, error) {
+	return s.executor(e)
+}
+
+// rawVar fetches a variable's expanded value, "" when absent.
+func rawVar(e *ramble.Experiment, name string) string {
+	if _, ok := e.Expander.Get(name); !ok {
+		return ""
+	}
+	v, err := e.Expander.Expand("{" + name + "}")
+	if err != nil {
+		return ""
+	}
+	return v
+}
+
+// expandedVars renders every experiment variable to its final value
+// (skipping ones that need runtime-only context).
+func expandedVars(e *ramble.Experiment) map[string]string {
+	out := map[string]string{}
+	for k := range e.Vars {
+		v, err := e.Expander.Expand("{" + k + "}")
+		if err == nil {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// RunAll executes the full Figure 1c workflow after Setup: workspace
+// setup (software install + experiment generation), ramble on, and
+// analyze, recording every result in the metrics database and writing
+// the analysis artifact to the workspace's logs/ directory.
+func (s *Session) RunAll() (*ramble.AnalysisReport, error) {
+	if err := s.Workspace.Setup(s.installSoftware); err != nil {
+		return nil, err
+	}
+	if err := s.Workspace.On(s.executor); err != nil {
+		return nil, err
+	}
+	rep, err := s.Workspace.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeResultsArtifact(rep); err != nil {
+		return nil, err
+	}
+	for _, e := range rep.Experiments {
+		if e.Status != ramble.Succeeded {
+			continue
+		}
+		s.Benchpark.Metrics.Add(metricsdb.Result{
+			Benchmark:  e.App.Name,
+			Workload:   e.Workload,
+			System:     s.System.Name,
+			Experiment: e.Name,
+			FOMs:       metricsdb.ParseFOMs(e.FOMs),
+			Meta: map[string]string{
+				"n_ranks":   fmt.Sprintf("%d", e.NRanks),
+				"n_nodes":   fmt.Sprintf("%d", e.NNodes),
+				"n_threads": fmt.Sprintf("%d", e.NThreads),
+			},
+			Manifest: s.manifest(e),
+		})
+	}
+	return rep, nil
+}
+
+// RunAllBatched is RunAll with real batch-queue semantics: every
+// generated experiment is submitted to the system's scheduler from
+// its rendered batch script (so the Figure 13 #SBATCH/#BSUB/#flux
+// directives actually drive the allocation), the whole queue drains
+// as one simulation — experiments run concurrently when nodes allow —
+// and the analysis proceeds on the collected outputs.
+func (s *Session) RunAllBatched() (*ramble.AnalysisReport, error) {
+	if err := s.Workspace.Setup(s.installSoftware); err != nil {
+		return nil, err
+	}
+	type pending struct {
+		exp *ramble.Experiment
+		job *scheduler.Job
+		out *bench.Output
+	}
+	var queue []*pending
+	for _, e := range s.Workspace.Experiments {
+		b, err := bench.Get(e.App.Name)
+		if err != nil {
+			return nil, err
+		}
+		params := bench.Params{
+			System:       s.System,
+			Ranks:        e.NRanks,
+			RanksPerNode: e.ProcsPerNode,
+			Threads:      e.NThreads,
+			Variant:      rawVar(e, "variant"),
+			Vars:         expandedVars(e),
+		}
+		p := &pending{exp: e}
+		job, err := s.Scheduler.SubmitScript(e.Name, e.Script, func() (float64, error) {
+			out, rerr := b.Run(params)
+			if rerr != nil {
+				return 0, rerr
+			}
+			p.out = out
+			return out.Elapsed, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.job = job
+		queue = append(queue, p)
+	}
+	if err := s.Scheduler.Drain(); err != nil {
+		return nil, err
+	}
+	for _, p := range queue {
+		e := p.exp
+		if p.job.State != scheduler.Completed || p.out == nil {
+			e.Status = ramble.Failed
+			if p.job.Err != nil {
+				e.FailMsg = p.job.Err.Error()
+			} else {
+				e.FailMsg = "job " + p.job.State.String()
+			}
+			continue
+		}
+		e.Output = p.out.Text
+		e.Elapsed = p.out.Elapsed
+		e.Status = ramble.Succeeded
+		md := p.out.Metadata
+		md.Setf("experiment", "%s", e.Name)
+		md.Setf("nprocs", "%d", e.NRanks)
+		s.Thicket.Add(p.out.Profile, md)
+		if err := os.WriteFile(filepath.Join(e.Dir, e.Name+".out"), []byte(e.Output), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := s.Workspace.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeResultsArtifact(rep); err != nil {
+		return nil, err
+	}
+	for _, e := range rep.Experiments {
+		if e.Status != ramble.Succeeded {
+			continue
+		}
+		s.Benchpark.Metrics.Add(metricsdb.Result{
+			Benchmark:  e.App.Name,
+			Workload:   e.Workload,
+			System:     s.System.Name,
+			Experiment: e.Name,
+			FOMs:       metricsdb.ParseFOMs(e.FOMs),
+			Meta: map[string]string{
+				"n_ranks": fmt.Sprintf("%d", e.NRanks),
+				"n_nodes": fmt.Sprintf("%d", e.NNodes),
+			},
+			Manifest: s.manifest(e),
+		})
+	}
+	return rep, nil
+}
+
+// writeResultsArtifact stores the analysis as logs/results.json —
+// the shareable record Section 5 wants contributors to publish
+// alongside the manifests.
+func (s *Session) writeResultsArtifact(rep *ramble.AnalysisReport) error {
+	type entry struct {
+		Experiment string            `json:"experiment"`
+		Status     string            `json:"status"`
+		Elapsed    float64           `json:"elapsed_s"`
+		FOMs       map[string]string `json:"foms,omitempty"`
+		Error      string            `json:"error,omitempty"`
+		Manifest   string            `json:"manifest"`
+	}
+	var entries []entry
+	for _, e := range rep.Experiments {
+		entries = append(entries, entry{
+			Experiment: e.Name,
+			Status:     e.Status.String(),
+			Elapsed:    e.Elapsed,
+			FOMs:       e.FOMs,
+			Error:      e.FailMsg,
+			Manifest:   s.manifest(e),
+		})
+	}
+	data, err := json.MarshalIndent(map[string]any{
+		"system":  s.System.Name,
+		"suite":   s.Suite,
+		"total":   rep.Total,
+		"passed":  rep.Succeeded,
+		"failed":  rep.Failed,
+		"results": entries,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.Workspace.Root, "logs", "results.json"), data, 0o644)
+}
+
+// manifest renders the exact experiment specification (Section 5:
+// "Storing the Benchpark manifest with the performance results will
+// enable introspection into benchmark performance across systems and
+// time").
+func (s *Session) manifest(e *ramble.Experiment) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system: %s\nsuite: %s\nexperiment: %s\n", s.System.Name, s.Suite, e.Name)
+	if lf, ok := s.Lockfiles[e.App.Name]; ok {
+		fmt.Fprintf(&b, "software: %s\n", strings.Join(lf.PackageNames(), ", "))
+		for _, root := range lf.Roots {
+			fmt.Fprintf(&b, "root: %s\n", lf.Nodes[root].Spec)
+		}
+	}
+	return b.String()
+}
+
+// InstalledSpec returns the installed concrete spec for a package in
+// a session environment, for provenance checks.
+func (s *Session) InstalledSpec(pkgName string) (*spec.Spec, error) {
+	recs := s.Installer.DB.Find(spec.MustParse(pkgName))
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("benchpark: %s not installed in this session", pkgName)
+	}
+	return recs[0].Spec, nil
+}
+
+// AdiakEnsembleMetadata builds shared metadata for the session's
+// thicket entries.
+func (s *Session) AdiakEnsembleMetadata() *adiak.Metadata {
+	md := adiak.New()
+	md.Set("cluster", s.System.Name)
+	md.Set("suite", s.Suite)
+	return md
+}

@@ -1,0 +1,105 @@
+package dashboard
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/extrap"
+)
+
+// ScalingSVG renders a Figure 14 style plot as a self-contained SVG:
+// measurements as dots, the fitted Extra-P model as a line, with axes
+// and the model equation as caption — one of the "pre-built plots and
+// visualizations" the Section 5 dashboard plans.
+func ScalingSVG(title string, data []extrap.Measurement, model *extrap.Model) string {
+	const (
+		width, height     = 640, 400
+		padLeft, padRight = 70, 20
+		padTop, padBottom = 50, 60
+		plotW             = width - padLeft - padRight
+		plotH             = height - padTop - padBottom
+	)
+	if len(data) == 0 {
+		return "<svg xmlns=\"http://www.w3.org/2000/svg\"/>"
+	}
+	minP, maxP := data[0].P, data[0].P
+	maxV := 0.0
+	for _, d := range data {
+		if d.P < minP {
+			minP = d.P
+		}
+		if d.P > maxP {
+			maxP = d.P
+		}
+		if d.Value > maxV {
+			maxV = d.Value
+		}
+	}
+	if model != nil {
+		if v := model.Eval(maxP); v > maxV {
+			maxV = v
+		}
+	}
+	if maxP == minP {
+		maxP = minP + 1
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	x := func(p float64) float64 { return padLeft + plotW*(p-minP)/(maxP-minP) }
+	y := func(v float64) float64 { return padTop + plotH*(1-v/maxV) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`,
+		width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" text-anchor="middle">%s</text>`,
+		width/2, escapeXML(title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		padLeft, padTop+plotH, padLeft+plotW, padTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`,
+		padLeft, padTop, padLeft, padTop+plotH)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		pv := minP + (maxP-minP)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" font-size="11" text-anchor="middle">%.0f</text>`,
+			x(pv), padTop+plotH+18, pv)
+		vv := maxV * float64(i) / 4
+		fmt.Fprintf(&b, `<text x="%d" y="%.0f" font-size="11" text-anchor="end">%.3g</text>`,
+			padLeft-6, y(vv)+4, vv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.0f" x2="%d" y2="%.0f" stroke="#eee"/>`,
+			padLeft, y(vv), padLeft+plotW, y(vv))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">nprocs</text>`,
+		padLeft+plotW/2, height-18)
+
+	// Model line (blue, like the figure).
+	if model != nil {
+		pts := model.Series(minP, maxP, 64)
+		var path strings.Builder
+		for i, m := range pts {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, x(m.P), y(m.Value))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="#1f77b4" stroke-width="2"/>`,
+			strings.TrimSpace(path.String()))
+		fmt.Fprintf(&b, `<text x="%d" y="40" font-size="12" text-anchor="middle" fill="#1f77b4">%s</text>`,
+			width/2, escapeXML(model.String()))
+	}
+	// Measurement dots (red, like the figure).
+	for _, d := range data {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="#d62728"/>`, x(d.P), y(d.Value))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,332 @@
+// Package extrap fits analytical scaling models to performance
+// measurements, reproducing the Extra-P workflow of Figure 14 in the
+// Benchpark paper: red dots are measurements of a function (e.g.
+// MPI_Bcast on CTS) at different process counts, and the blue line is
+// the model Extra-P computes, printed as
+//
+//	-0.6355857931034596 + 0.04660217702356169 * p^(1)
+//
+// The implementation follows Extra-P's Performance Model Normal Form
+// (PMNF) restricted to a single term: f(p) = c0 + c1 · p^i · log2(p)^j
+// over a hypothesis grid of exponents (i, j). Each hypothesis is fit
+// by ordinary least squares (linear in c0, c1); the winner minimizes
+// SMAPE with an adjusted-R² tie-break, as in Calotoiu et al. (SC'13).
+package extrap
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Measurement is one (p, time) observation.
+type Measurement struct {
+	P     float64 // process count (or any scaling parameter)
+	Value float64
+}
+
+// Model is a fitted PMNF model: c0 + c1·p^I·log2(p)^J, optionally
+// with a second term c2·p^I2·log2(p)^J2 (see FitMultiTerm).
+type Model struct {
+	C0, C1 float64
+	I      float64 // polynomial exponent
+	J      int     // log exponent
+
+	// Second term (HasSecond distinguishes c2==0 from absent).
+	HasSecond bool
+	C2        float64
+	I2        float64
+	J2        int
+
+	// Quality of fit on the training data:
+	RSquared float64
+	SMAPE    float64 // symmetric mean absolute percentage error, in %
+}
+
+// Eval evaluates the model at p.
+func (m *Model) Eval(p float64) float64 {
+	v := m.C0 + m.C1*term(p, m.I, m.J)
+	if m.HasSecond {
+		v += m.C2 * term(p, m.I2, m.J2)
+	}
+	return v
+}
+
+// term computes p^i * log2(p)^j.
+func term(p, i float64, j int) float64 {
+	v := math.Pow(p, i)
+	if j != 0 {
+		v *= math.Pow(math.Log2(p), float64(j))
+	}
+	return v
+}
+
+// IsConstant reports whether the model has no scaling term.
+func (m *Model) IsConstant() bool { return m.I == 0 && m.J == 0 }
+
+// String renders the model the way Extra-P prints it in Figure 14.
+func (m *Model) String() string {
+	if m.IsConstant() {
+		return fmt.Sprintf("%v", m.C0)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v + %v * p^(%s)", m.C0, m.C1, trimFloat(m.I))
+	if m.J != 0 {
+		fmt.Fprintf(&b, " * log2^(%d)(p)", m.J)
+	}
+	if m.HasSecond {
+		fmt.Fprintf(&b, " + %v * p^(%s)", m.C2, trimFloat(m.I2))
+		if m.J2 != 0 {
+			fmt.Fprintf(&b, " * log2^(%d)(p)", m.J2)
+		}
+	}
+	return b.String()
+}
+
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) {
+		return fmt.Sprintf("%d", int(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+// hypothesisI is Extra-P's polynomial exponent grid, extended with
+// negative exponents so strong-scaling series (time ∝ 1/p) model
+// cleanly.
+var hypothesisI = []float64{
+	-2, -1, -2.0 / 3.0, -0.5, -1.0 / 3.0, -0.25,
+	0, 0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.75, 1, 1.25, 4.0 / 3.0, 1.5, 2, 2.5, 3,
+}
+
+// Fit selects the best single-term PMNF model for the measurements.
+// At least 3 distinct p values are required.
+func Fit(data []Measurement) (*Model, error) {
+	distinct := map[float64]bool{}
+	for _, d := range data {
+		distinct[d.P] = true
+		if d.P < 1 {
+			return nil, fmt.Errorf("extrap: parameter value %v < 1", d.P)
+		}
+	}
+	if len(distinct) < 3 {
+		return nil, fmt.Errorf("extrap: need measurements at >=3 distinct scales, have %d", len(distinct))
+	}
+
+	var best *Model
+	for _, i := range hypothesisI {
+		for j := 0; j <= 2; j++ {
+			if i == 0 && j == 0 {
+				continue // handled by the constant model below
+			}
+			m, ok := fitHypothesis(data, i, j)
+			if !ok {
+				continue
+			}
+			if best == nil || better(m, best) {
+				best = m
+			}
+		}
+	}
+	// Constant model: mean of the data.
+	if cm := fitConstant(data); best == nil || better(cm, best) {
+		best = cm
+	}
+	if best == nil {
+		return nil, fmt.Errorf("extrap: no hypothesis could be fit")
+	}
+	return best, nil
+}
+
+// better prefers lower SMAPE, breaking near-ties (within 1 percentage
+// point) toward higher adjusted R² and then toward simpler models:
+// constant beats any term, and smaller |exponent| beats larger.
+func better(a, b *Model) bool {
+	if math.Abs(a.SMAPE-b.SMAPE) > 1.0 {
+		return a.SMAPE < b.SMAPE
+	}
+	if math.Abs(a.RSquared-b.RSquared) > 1e-9 {
+		return a.RSquared > b.RSquared
+	}
+	if a.IsConstant() != b.IsConstant() {
+		return a.IsConstant()
+	}
+	if math.Abs(a.I) != math.Abs(b.I) {
+		return math.Abs(a.I) < math.Abs(b.I)
+	}
+	if a.J != b.J {
+		return a.J < b.J
+	}
+	return a.I > b.I // positive exponent as the final tie-break
+}
+
+// fitHypothesis does OLS for f(p) = c0 + c1*g(p) with g = p^i log2^j p.
+func fitHypothesis(data []Measurement, i float64, j int) (*Model, bool) {
+	n := float64(len(data))
+	var sg, sgg, sy, sgy float64
+	for _, d := range data {
+		g := term(d.P, i, j)
+		if math.IsInf(g, 0) || math.IsNaN(g) {
+			return nil, false
+		}
+		sg += g
+		sgg += g * g
+		sy += d.Value
+		sgy += g * d.Value
+	}
+	det := n*sgg - sg*sg
+	if math.Abs(det) < 1e-12 {
+		return nil, false
+	}
+	c1 := (n*sgy - sg*sy) / det
+	c0 := (sy - c1*sg) / n
+	m := &Model{C0: c0, C1: c1, I: i, J: j}
+	score(m, data, 2)
+	return m, true
+}
+
+func fitConstant(data []Measurement) *Model {
+	var sum float64
+	for _, d := range data {
+		sum += d.Value
+	}
+	m := &Model{C0: sum / float64(len(data))}
+	score(m, data, 1)
+	return m
+}
+
+// score fills RSquared (adjusted, k parameters) and SMAPE.
+func score(m *Model, data []Measurement, k int) {
+	n := float64(len(data))
+	var mean float64
+	for _, d := range data {
+		mean += d.Value
+	}
+	mean /= n
+	var ssRes, ssTot, smape float64
+	for _, d := range data {
+		pred := m.Eval(d.P)
+		ssRes += (d.Value - pred) * (d.Value - pred)
+		ssTot += (d.Value - mean) * (d.Value - mean)
+		denom := math.Abs(d.Value) + math.Abs(pred)
+		if denom > 0 {
+			smape += 2 * math.Abs(d.Value-pred) / denom
+		}
+	}
+	if ssTot <= 0 {
+		m.RSquared = 1
+	} else {
+		r2 := 1 - ssRes/ssTot
+		// adjusted R²
+		if n-float64(k)-1 > 0 {
+			m.RSquared = 1 - (1-r2)*(n-1)/(n-float64(k)-1)
+		} else {
+			m.RSquared = r2
+		}
+	}
+	m.SMAPE = 100 * smape / n
+}
+
+// FitMultiTerm extends Fit with two-term PMNF hypotheses
+// f(p) = c0 + c1·t1(p) + c2·t2(p), as full Extra-P supports. The
+// two-term model is selected only when it improves SMAPE by more than
+// one percentage point over the best single-term model (Occam guard);
+// it needs measurements at >=5 distinct scales.
+func FitMultiTerm(data []Measurement) (*Model, error) {
+	single, err := Fit(data)
+	if err != nil {
+		return nil, err
+	}
+	distinct := map[float64]bool{}
+	for _, d := range data {
+		distinct[d.P] = true
+	}
+	if len(distinct) < 5 {
+		return single, nil
+	}
+	best := single
+	for a := 0; a < len(hypothesisI); a++ {
+		for ja := 0; ja <= 1; ja++ {
+			for bIdx := a + 1; bIdx < len(hypothesisI); bIdx++ {
+				for jb := 0; jb <= 1; jb++ {
+					i1, i2 := hypothesisI[a], hypothesisI[bIdx]
+					if i1 == 0 && ja == 0 {
+						continue
+					}
+					if i2 == 0 && jb == 0 {
+						continue
+					}
+					m, ok := fitTwoTerm(data, i1, ja, i2, jb)
+					if !ok {
+						continue
+					}
+					if m.SMAPE < best.SMAPE-1.0 {
+						best = m
+					}
+				}
+			}
+		}
+	}
+	return best, nil
+}
+
+// fitTwoTerm solves the 3x3 normal equations for
+// y = c0 + c1 g(p) + c2 h(p).
+func fitTwoTerm(data []Measurement, i1 float64, j1 int, i2 float64, j2 int) (*Model, bool) {
+	n := float64(len(data))
+	var sg, sh, sy, sgg, shh, sgh, sgy, shy float64
+	for _, d := range data {
+		g := term(d.P, i1, j1)
+		h := term(d.P, i2, j2)
+		if math.IsInf(g, 0) || math.IsNaN(g) || math.IsInf(h, 0) || math.IsNaN(h) {
+			return nil, false
+		}
+		sg += g
+		sh += h
+		sy += d.Value
+		sgg += g * g
+		shh += h * h
+		sgh += g * h
+		sgy += g * d.Value
+		shy += h * d.Value
+	}
+	// Solve A x = b with A = [[n,sg,sh],[sg,sgg,sgh],[sh,sgh,shh]],
+	// b = [sy,sgy,shy] by Cramer's rule.
+	det := n*(sgg*shh-sgh*sgh) - sg*(sg*shh-sgh*sh) + sh*(sg*sgh-sgg*sh)
+	if math.Abs(det) < 1e-9 {
+		return nil, false
+	}
+	d0 := sy*(sgg*shh-sgh*sgh) - sg*(sgy*shh-sgh*shy) + sh*(sgy*sgh-sgg*shy)
+	d1 := n*(sgy*shh-sgh*shy) - sy*(sg*shh-sgh*sh) + sh*(sg*shy-sgy*sh)
+	d2 := n*(sgg*shy-sgy*sgh) - sg*(sg*shy-sgy*sh) + sy*(sg*sgh-sgg*sh)
+	m := &Model{
+		C0: d0 / det, C1: d1 / det, I: i1, J: j1,
+		HasSecond: true, C2: d2 / det, I2: i2, J2: j2,
+	}
+	score(m, data, 3)
+	return m, true
+}
+
+// Series renders the model as (p, value) pairs over the measurement
+// range — the blue line of Figure 14.
+func (m *Model) Series(lo, hi float64, points int) []Measurement {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]Measurement, points)
+	step := (hi - lo) / float64(points-1)
+	for k := 0; k < points; k++ {
+		p := lo + float64(k)*step
+		if k == points-1 {
+			p = hi // avoid floating-point drift on the endpoint
+		}
+		out[k] = Measurement{P: p, Value: m.Eval(p)}
+	}
+	return out
+}
+
+// SortMeasurements orders data by p (in place) and returns it.
+func SortMeasurements(data []Measurement) []Measurement {
+	sort.Slice(data, func(i, j int) bool { return data[i].P < data[j].P })
+	return data
+}

@@ -1,0 +1,259 @@
+package extrap
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func gen(f func(p float64) float64, ps ...float64) []Measurement {
+	out := make([]Measurement, len(ps))
+	for i, p := range ps {
+		out[i] = Measurement{P: p, Value: f(p)}
+	}
+	return out
+}
+
+var scales = []float64{64, 128, 256, 512, 1024, 2048, 3456}
+
+func TestFitLinear(t *testing.T) {
+	// The Figure 14 ground truth: -0.6356 + 0.0466 p.
+	data := gen(func(p float64) float64 { return -0.6355857931034596 + 0.04660217702356169*p }, scales...)
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.I != 1 || m.J != 0 {
+		t.Fatalf("selected p^(%v) log^%d, want p^(1): %s", m.I, m.J, m)
+	}
+	if math.Abs(m.C1-0.0466) > 1e-3 || math.Abs(m.C0+0.6356) > 1e-2 {
+		t.Errorf("coefficients: %s", m)
+	}
+	if !strings.Contains(m.String(), "p^(1)") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestFitLinearWithNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	data := gen(func(p float64) float64 {
+		return 0.0466*p*(1+0.02*(r.Float64()*2-1)) - 0.6
+	}, scales...)
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.I != 1 || m.J != 0 {
+		t.Fatalf("noisy linear chose %s", m)
+	}
+	if m.SMAPE > 5 {
+		t.Errorf("SMAPE = %v", m.SMAPE)
+	}
+}
+
+func TestFitLog(t *testing.T) {
+	data := gen(func(p float64) float64 { return 2 + 0.5*math.Log2(p) }, scales...)
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m.I == 0 && m.J == 1) {
+		t.Errorf("log data chose %s", m)
+	}
+}
+
+func TestFitQuadratic(t *testing.T) {
+	data := gen(func(p float64) float64 { return 1 + 3e-4*p*p }, scales...)
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.I != 2 || m.J != 0 {
+		t.Errorf("quadratic data chose %s", m)
+	}
+}
+
+func TestFitSqrt(t *testing.T) {
+	data := gen(func(p float64) float64 { return 5 + 2*math.Sqrt(p) }, scales...)
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.I != 0.5 || m.J != 0 {
+		t.Errorf("sqrt data chose %s", m)
+	}
+}
+
+func TestFitPLogP(t *testing.T) {
+	data := gen(func(p float64) float64 { return 0.01 * p * math.Log2(p) }, scales...)
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.I != 1 || m.J != 1 {
+		t.Errorf("p log p data chose %s", m)
+	}
+	if !strings.Contains(m.String(), "log2^(1)(p)") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestFitConstant(t *testing.T) {
+	data := gen(func(p float64) float64 { return 42 }, scales...)
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsConstant() {
+		t.Errorf("constant data chose %s", m)
+	}
+	if math.Abs(m.C0-42) > 1e-9 {
+		t.Errorf("C0 = %v", m.C0)
+	}
+	if m.String() != "42" {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(gen(func(p float64) float64 { return p }, 2, 4)); err == nil {
+		t.Error("2 scales should fail")
+	}
+	// Repeated p values do not count as distinct scales.
+	data := []Measurement{{P: 8, Value: 1}, {P: 8, Value: 1.1}, {P: 16, Value: 2}}
+	if _, err := Fit(data); err == nil {
+		t.Error("2 distinct scales should fail")
+	}
+	if _, err := Fit(gen(func(p float64) float64 { return p }, 0.5, 2, 4)); err == nil {
+		t.Error("p<1 should fail (log2 undefined)")
+	}
+}
+
+func TestRepeatedMeasurementsPerScale(t *testing.T) {
+	// Extra-P consumes several repetitions per scale; the fit should
+	// pass through the means.
+	var data []Measurement
+	for _, p := range scales {
+		for rep := 0; rep < 5; rep++ {
+			data = append(data, Measurement{P: p, Value: 0.05*p + float64(rep%3)*0.01})
+		}
+	}
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.I != 1 {
+		t.Errorf("chose %s", m)
+	}
+	if math.Abs(m.C1-0.05) > 1e-3 {
+		t.Errorf("C1 = %v", m.C1)
+	}
+}
+
+func TestEvalAndSeries(t *testing.T) {
+	m := &Model{C0: -0.6356, C1: 0.0466, I: 1}
+	if v := m.Eval(3456); math.Abs(v-160.4) > 0.5 {
+		t.Errorf("Eval(3456) = %v (Figure 14 tops out near 160s)", v)
+	}
+	series := m.Series(0o100, 3456, 50)
+	if len(series) != 50 {
+		t.Fatalf("series len = %d", len(series))
+	}
+	if series[0].P != 64 || series[49].P != 3456 {
+		t.Errorf("series endpoints: %v .. %v", series[0], series[49])
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].Value <= series[i-1].Value {
+			t.Error("linear model series must increase")
+			break
+		}
+	}
+}
+
+func TestSortMeasurements(t *testing.T) {
+	data := []Measurement{{P: 8}, {P: 2}, {P: 4}}
+	SortMeasurements(data)
+	if data[0].P != 2 || data[2].P != 8 {
+		t.Errorf("sorted = %v", data)
+	}
+}
+
+func TestRSquaredQuality(t *testing.T) {
+	data := gen(func(p float64) float64 { return 3 * p }, scales...)
+	m, _ := Fit(data)
+	if m.RSquared < 0.999 {
+		t.Errorf("perfect fit R² = %v", m.RSquared)
+	}
+	if m.SMAPE > 0.01 {
+		t.Errorf("perfect fit SMAPE = %v", m.SMAPE)
+	}
+}
+
+func TestFitMultiTermSelectsTwoTerms(t *testing.T) {
+	// p + sqrt(p): a single term cannot capture both.
+	data := gen(func(p float64) float64 { return 1 + 0.05*p + 3*math.Sqrt(p) }, scales...)
+	m, err := FitMultiTerm(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasSecond {
+		t.Fatalf("expected a two-term model, got %s (SMAPE %.2f)", m, m.SMAPE)
+	}
+	if m.SMAPE > 1 {
+		t.Errorf("two-term SMAPE = %v", m.SMAPE)
+	}
+	// Predictive check at an unseen scale.
+	want := 1 + 0.05*8192 + 3*math.Sqrt(8192)
+	if got := m.Eval(8192); math.Abs(got-want)/want > 0.05 {
+		t.Errorf("Eval(8192) = %v, want ≈ %v", got, want)
+	}
+	if !strings.Contains(m.String(), " + ") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestFitMultiTermOccamGuard(t *testing.T) {
+	// Pure linear data must stay single-term.
+	data := gen(func(p float64) float64 { return 2 + 0.04*p }, scales...)
+	m, err := FitMultiTerm(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasSecond {
+		t.Errorf("linear data should keep the single-term model, got %s", m)
+	}
+	if m.I != 1 || m.J != 0 {
+		t.Errorf("model = %s", m)
+	}
+}
+
+func TestFitMultiTermFewScalesFallsBack(t *testing.T) {
+	data := gen(func(p float64) float64 { return p }, 2, 4, 8, 16)
+	m, err := FitMultiTerm(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.HasSecond {
+		t.Error("4 scales cannot justify a two-term model")
+	}
+}
+
+func TestFitInverse(t *testing.T) {
+	// Strong-scaling shape: t = 0.001 + 0.03/p.
+	data := gen(func(p float64) float64 { return 0.001 + 0.03/p }, 2, 4, 8, 16, 32, 64)
+	m, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.I != -1 || m.J != 0 {
+		t.Fatalf("inverse data chose %s", m)
+	}
+	if math.Abs(m.C1-0.03) > 1e-3 || math.Abs(m.C0-0.001) > 1e-4 {
+		t.Errorf("coefficients: %s", m)
+	}
+	// Extrapolation approaches the serial floor.
+	if v := m.Eval(1024); math.Abs(v-0.001) > 2e-4 {
+		t.Errorf("Eval(1024) = %v", v)
+	}
+}

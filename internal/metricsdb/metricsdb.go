@@ -1,0 +1,307 @@
+// Package metricsdb stores benchmark results with full provenance —
+// the "metrics database" of the paper's Figure 6 automation workflow
+// and the Section 5 plan of "storing the Benchpark manifest with the
+// performance results" to enable introspection into benchmark
+// performance across systems and time. It supports time-series
+// queries and the regression detection a continuous benchmarking
+// deployment needs ("tracking system performance over time and
+// diagnosing hardware failures", Section 1).
+package metricsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Result is one experiment outcome with its reproducibility manifest.
+type Result struct {
+	ID         int                `json:"id"`
+	Seq        int                `json:"seq"` // monotonically increasing "when"
+	Benchmark  string             `json:"benchmark"`
+	Workload   string             `json:"workload"`
+	System     string             `json:"system"`
+	Experiment string             `json:"experiment"`
+	FOMs       map[string]float64 `json:"foms"`
+	Meta       map[string]string  `json:"meta,omitempty"`
+	// Manifest is the exact experiment specification (application-,
+	// system-, and experiment-specific) enabling functional
+	// reproducibility of this data point.
+	Manifest string `json:"manifest,omitempty"`
+}
+
+// DB is a thread-safe result store.
+type DB struct {
+	mu      sync.RWMutex
+	results []Result
+	nextID  int
+	nextSeq int
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{} }
+
+// Add stores a result, assigning its ID and sequence number, which it
+// returns.
+func (db *DB) Add(r Result) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.nextID++
+	db.nextSeq++
+	r.ID = db.nextID
+	r.Seq = db.nextSeq
+	db.results = append(db.results, r)
+	return r.ID
+}
+
+// Len reports the number of stored results.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.results)
+}
+
+// Filter selects results; zero-valued fields match anything.
+type Filter struct {
+	Benchmark  string
+	Workload   string
+	System     string
+	Experiment string
+}
+
+func (f Filter) matches(r Result) bool {
+	return (f.Benchmark == "" || f.Benchmark == r.Benchmark) &&
+		(f.Workload == "" || f.Workload == r.Workload) &&
+		(f.System == "" || f.System == r.System) &&
+		(f.Experiment == "" || f.Experiment == r.Experiment)
+}
+
+// Query returns matching results in sequence order.
+func (db *DB) Query(f Filter) []Result {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Result
+	for _, r := range db.results {
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Point is one (sequence, value) sample of a FOM series.
+type Point struct {
+	Seq   int
+	Value float64
+}
+
+// Series extracts the time series of one FOM under a filter.
+func (db *DB) Series(f Filter, fom string) []Point {
+	var out []Point
+	for _, r := range db.Query(f) {
+		if v, ok := r.FOMs[fom]; ok {
+			out = append(out, Point{Seq: r.Seq, Value: v})
+		}
+	}
+	return out
+}
+
+// Regression flags a sample that deviates from its rolling baseline.
+type Regression struct {
+	Seq      int
+	Value    float64
+	Baseline float64
+	// Ratio is Value/Baseline; >1 means slower for time-like FOMs.
+	Ratio float64
+}
+
+// DetectRegressions scans a FOM series with a rolling-median baseline
+// of the given window, flagging samples whose ratio to the baseline
+// exceeds threshold (e.g. 1.2 = 20% slowdown for time-like FOMs).
+// For throughput-like FOMs pass a threshold < 1 (e.g. 0.8) and
+// regressions are samples BELOW baseline*threshold.
+func (db *DB) DetectRegressions(f Filter, fom string, window int, threshold float64) []Regression {
+	series := db.Series(f, fom)
+	if window < 2 || len(series) <= window {
+		return nil
+	}
+	var out []Regression
+	for i := window; i < len(series); i++ {
+		base := median(series[i-window : i])
+		if base == 0 {
+			continue
+		}
+		ratio := series[i].Value / base
+		bad := (threshold >= 1 && ratio >= threshold) || (threshold < 1 && ratio <= threshold)
+		if bad {
+			out = append(out, Regression{
+				Seq: series[i].Seq, Value: series[i].Value, Baseline: base, Ratio: ratio,
+			})
+		}
+	}
+	return out
+}
+
+func median(pts []Point) float64 {
+	vals := make([]float64, len(pts))
+	for i, p := range pts {
+		vals[i] = p.Value
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// SaveJSON serializes the whole database.
+func (db *DB) SaveJSON() (string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	b, err := json.MarshalIndent(db.results, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// LoadJSON replaces the database contents from a SaveJSON dump.
+func LoadJSON(src string) (*DB, error) {
+	var results []Result
+	if err := json.Unmarshal([]byte(src), &results); err != nil {
+		return nil, fmt.Errorf("metricsdb: %w", err)
+	}
+	db := New()
+	for _, r := range results {
+		if r.Seq > db.nextSeq {
+			db.nextSeq = r.Seq
+		}
+		if r.ID > db.nextID {
+			db.nextID = r.ID
+		}
+	}
+	db.results = results
+	return db, nil
+}
+
+// ParseFOMs converts Ramble's string FOMs to floats, skipping
+// non-numeric entries (e.g. the "Kernel done" success FOM).
+func ParseFOMs(in map[string]string) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range in {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+// UsageRow summarizes how heavily one benchmark is exercised —
+// Section 5's plan to collect "metrics on benchmark usage (which
+// codes in Benchpark are accessed most heavily, which have been
+// contributed to most recently)".
+type UsageRow struct {
+	Benchmark string
+	Runs      int
+	Systems   int
+	LastSeq   int // most recent activity
+}
+
+// Usage aggregates per-benchmark activity, ordered by run count
+// descending (ties by name).
+func (db *DB) Usage() []UsageRow {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	type agg struct {
+		runs    int
+		systems map[string]bool
+		last    int
+	}
+	m := map[string]*agg{}
+	for _, r := range db.results {
+		a, ok := m[r.Benchmark]
+		if !ok {
+			a = &agg{systems: map[string]bool{}}
+			m[r.Benchmark] = a
+		}
+		a.runs++
+		a.systems[r.System] = true
+		if r.Seq > a.last {
+			a.last = r.Seq
+		}
+	}
+	out := make([]UsageRow, 0, len(m))
+	for name, a := range m {
+		out = append(out, UsageRow{Benchmark: name, Runs: a.runs, Systems: len(a.systems), LastSeq: a.last})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Runs != out[j].Runs {
+			return out[i].Runs > out[j].Runs
+		}
+		return out[i].Benchmark < out[j].Benchmark
+	})
+	return out
+}
+
+// Comparison is one row of a cross-system comparison.
+type Comparison struct {
+	Experiment string
+	A, B       float64
+	Ratio      float64 // B/A
+}
+
+// CompareSystems pairs up the latest value of a FOM for identical
+// experiment names on two systems — the quantitative core of the
+// paper's procurement and cloud-comparison use cases.
+func (db *DB) CompareSystems(benchmark, sysA, sysB, fom string) []Comparison {
+	latest := func(system string) map[string]float64 {
+		out := map[string]float64{}
+		for _, r := range db.Query(Filter{Benchmark: benchmark, System: system}) {
+			if v, ok := r.FOMs[fom]; ok {
+				out[r.Experiment] = v // later Seq overwrites: latest wins
+			}
+		}
+		return out
+	}
+	a, b := latest(sysA), latest(sysB)
+	var names []string
+	for name := range a {
+		if _, ok := b[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]Comparison, 0, len(names))
+	for _, name := range names {
+		c := Comparison{Experiment: name, A: a[name], B: b[name]}
+		if c.A != 0 {
+			c.Ratio = c.B / c.A
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Systems returns the distinct system names present, sorted.
+func (db *DB) Systems() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	seen := map[string]bool{}
+	for _, r := range db.results {
+		seen[r.System] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,218 @@
+package metricsdb
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAddAndQuery(t *testing.T) {
+	db := New()
+	db.Add(Result{Benchmark: "saxpy", System: "cts1", Experiment: "e1",
+		FOMs: map[string]float64{"time": 1.5}})
+	db.Add(Result{Benchmark: "saxpy", System: "ats2", Experiment: "e1",
+		FOMs: map[string]float64{"time": 0.9}})
+	db.Add(Result{Benchmark: "amg2023", System: "cts1", Experiment: "e2",
+		FOMs: map[string]float64{"fom": 2e6}})
+
+	if db.Len() != 3 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	if got := db.Query(Filter{Benchmark: "saxpy"}); len(got) != 2 {
+		t.Errorf("saxpy results = %d", len(got))
+	}
+	if got := db.Query(Filter{Benchmark: "saxpy", System: "cts1"}); len(got) != 1 {
+		t.Errorf("saxpy/cts1 = %d", len(got))
+	}
+	if got := db.Query(Filter{}); len(got) != 3 {
+		t.Errorf("all = %d", len(got))
+	}
+	// Sequence numbers increase in insertion order.
+	all := db.Query(Filter{})
+	for i := 1; i < len(all); i++ {
+		if all[i].Seq <= all[i-1].Seq {
+			t.Error("sequence not monotone")
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	db := New()
+	for i, v := range []float64{1.0, 1.1, 0.9} {
+		db.Add(Result{Benchmark: "saxpy", System: "cts1",
+			FOMs: map[string]float64{"time": v, "other": float64(i)}})
+	}
+	s := db.Series(Filter{Benchmark: "saxpy"}, "time")
+	if len(s) != 3 || s[0].Value != 1.0 || s[2].Value != 0.9 {
+		t.Errorf("series = %v", s)
+	}
+	if got := db.Series(Filter{}, "missing"); len(got) != 0 {
+		t.Errorf("missing FOM series = %v", got)
+	}
+}
+
+func TestDetectRegressionSlowdown(t *testing.T) {
+	db := New()
+	// Stable baseline around 1.0, then a firmware upgrade doubles it.
+	vals := []float64{1.0, 1.02, 0.98, 1.01, 0.99, 1.0, 2.1, 2.05}
+	for _, v := range vals {
+		db.Add(Result{Benchmark: "stream", System: "cts1",
+			FOMs: map[string]float64{"time": v}})
+	}
+	regs := db.DetectRegressions(Filter{Benchmark: "stream"}, "time", 4, 1.2)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v", regs)
+	}
+	if regs[0].Ratio < 2 {
+		t.Errorf("ratio = %v", regs[0].Ratio)
+	}
+}
+
+func TestDetectRegressionThroughputDrop(t *testing.T) {
+	db := New()
+	// Bandwidth drops: throughput-like FOM with threshold < 1.
+	vals := []float64{100, 101, 99, 100, 100, 60}
+	for _, v := range vals {
+		db.Add(Result{Benchmark: "stream", System: "cts1",
+			FOMs: map[string]float64{"triad_bw": v}})
+	}
+	regs := db.DetectRegressions(Filter{Benchmark: "stream"}, "triad_bw", 4, 0.8)
+	if len(regs) != 1 || regs[0].Value != 60 {
+		t.Errorf("regressions = %v", regs)
+	}
+}
+
+func TestDetectRegressionNoFalsePositives(t *testing.T) {
+	db := New()
+	for i := 0; i < 20; i++ {
+		v := 1.0 + 0.01*float64(i%3)
+		db.Add(Result{Benchmark: "saxpy", FOMs: map[string]float64{"time": v}})
+	}
+	if regs := db.DetectRegressions(Filter{}, "time", 5, 1.2); len(regs) != 0 {
+		t.Errorf("false positives: %v", regs)
+	}
+}
+
+func TestDetectRegressionShortSeries(t *testing.T) {
+	db := New()
+	db.Add(Result{FOMs: map[string]float64{"t": 1}})
+	if regs := db.DetectRegressions(Filter{}, "t", 4, 1.2); regs != nil {
+		t.Errorf("short series = %v", regs)
+	}
+}
+
+func TestSaveLoadJSON(t *testing.T) {
+	db := New()
+	db.Add(Result{Benchmark: "saxpy", System: "cts1", Manifest: "saxpy@1.0.0+openmp",
+		FOMs: map[string]float64{"time": 1.5}, Meta: map[string]string{"compiler": "gcc"}})
+	js, err := db.SaveJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadJSON(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 1 {
+		t.Fatalf("loaded len = %d", db2.Len())
+	}
+	r := db2.Query(Filter{})[0]
+	if r.Manifest != "saxpy@1.0.0+openmp" || r.Meta["compiler"] != "gcc" || r.FOMs["time"] != 1.5 {
+		t.Errorf("round trip: %+v", r)
+	}
+	// Appending after load continues the sequence.
+	id := db2.Add(Result{Benchmark: "x"})
+	if id <= 1 {
+		t.Errorf("id after load = %d", id)
+	}
+}
+
+func TestLoadJSONBad(t *testing.T) {
+	if _, err := LoadJSON("{not json"); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}
+
+func TestParseFOMs(t *testing.T) {
+	in := map[string]string{"time": "1.5", "success": "Kernel done", "iters": "12"}
+	out := ParseFOMs(in)
+	if len(out) != 2 || out["time"] != 1.5 || out["iters"] != 12 {
+		t.Errorf("parsed = %v", out)
+	}
+}
+
+func TestSystems(t *testing.T) {
+	db := New()
+	db.Add(Result{System: "cts1"})
+	db.Add(Result{System: "ats2"})
+	db.Add(Result{System: "cts1"})
+	got := db.Systems()
+	if len(got) != 2 || got[0] != "ats2" || got[1] != "cts1" {
+		t.Errorf("systems = %v", got)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			db.Add(Result{Benchmark: "saxpy", FOMs: map[string]float64{"t": 1}})
+			db.Query(Filter{Benchmark: "saxpy"})
+		}()
+	}
+	wg.Wait()
+	if db.Len() != 32 {
+		t.Errorf("len = %d", db.Len())
+	}
+	// IDs must be unique.
+	seen := map[int]bool{}
+	for _, r := range db.Query(Filter{}) {
+		if seen[r.ID] {
+			t.Errorf("duplicate id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestUsage(t *testing.T) {
+	db := New()
+	for i := 0; i < 5; i++ {
+		db.Add(Result{Benchmark: "saxpy", System: "cts1"})
+	}
+	db.Add(Result{Benchmark: "saxpy", System: "ats2"})
+	db.Add(Result{Benchmark: "amg2023", System: "cts1"})
+	rows := db.Usage()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].Benchmark != "saxpy" || rows[0].Runs != 6 || rows[0].Systems != 2 {
+		t.Errorf("top row = %+v", rows[0])
+	}
+	if rows[1].Benchmark != "amg2023" || rows[1].LastSeq != 7 {
+		t.Errorf("second row = %+v", rows[1])
+	}
+	if got := New().Usage(); len(got) != 0 {
+		t.Errorf("empty usage = %v", got)
+	}
+}
+
+func TestCompareSystems(t *testing.T) {
+	db := New()
+	for _, r := range []Result{
+		{Benchmark: "saxpy", System: "cts1", Experiment: "e1", FOMs: map[string]float64{"t": 1.0}},
+		{Benchmark: "saxpy", System: "cts1", Experiment: "e1", FOMs: map[string]float64{"t": 2.0}}, // latest
+		{Benchmark: "saxpy", System: "ats2", Experiment: "e1", FOMs: map[string]float64{"t": 1.0}},
+		{Benchmark: "saxpy", System: "cts1", Experiment: "only-cts", FOMs: map[string]float64{"t": 5}},
+	} {
+		db.Add(r)
+	}
+	cmp := db.CompareSystems("saxpy", "cts1", "ats2", "t")
+	if len(cmp) != 1 {
+		t.Fatalf("cmp = %+v", cmp)
+	}
+	if cmp[0].A != 2.0 || cmp[0].B != 1.0 || cmp[0].Ratio != 0.5 {
+		t.Errorf("row = %+v", cmp[0])
+	}
+}

@@ -1,0 +1,121 @@
+package mpisim
+
+// Additional collectives beyond the Figure-14 set: Scatter, Gather,
+// ReduceScatter and Alltoall, with the standard algorithms (binomial
+// trees for scatter/gather, pairwise exchange for alltoall). These
+// round out the MPI surface the benchmark kernels and future
+// applications can rely on.
+
+// Scatter distributes root's data in equal contiguous blocks; every
+// rank returns its block. len(data) must be divisible by Size() on
+// the root (binomial-tree algorithm, halving ranges like the
+// large-message broadcast).
+func (c *Comm) Scatter(root int, data []float64) []float64 {
+	p := c.w.size
+	if p == 1 {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	vrank := (c.rank - root + p) % p
+	segs := make([][]float64, p)
+	hi := p
+	if vrank == 0 {
+		n := len(data) / p
+		for i := 0; i < p; i++ {
+			segs[i] = data[i*n : (i+1)*n]
+		}
+	} else {
+		parent, myHi := scatterMeta(vrank, p)
+		hi = myHi
+		packed := c.Recv((parent + root) % p)
+		segs = unpackSegs(packed, p)
+	}
+	lo := vrank
+	for hi-lo > 1 {
+		mid := lo + (hi-lo+1)/2
+		c.Send((mid+root)%p, packSegs(segs, mid, hi))
+		hi = mid
+	}
+	out := make([]float64, len(segs[vrank]))
+	copy(out, segs[vrank])
+	return out
+}
+
+// Gather collects equal-size contributions onto root in rank order;
+// root returns the concatenation, others nil (binomial tree, the
+// mirror of Scatter).
+func (c *Comm) Gather(root int, data []float64) []float64 {
+	p := c.w.size
+	n := len(data)
+	if p == 1 {
+		out := make([]float64, n)
+		copy(out, data)
+		return out
+	}
+	vrank := (c.rank - root + p) % p
+	// Each rank accumulates segments for [vrank, hi); leaves send up.
+	segs := make([][]float64, p)
+	segs[vrank] = data
+	_, hi := scatterMeta(vrank, p)
+	if vrank == 0 {
+		hi = p
+	}
+	// Receive from children in reverse order of the scatter sends.
+	var children []int
+	lo := vrank
+	h := hi
+	for h-lo > 1 {
+		mid := lo + (h-lo+1)/2
+		children = append(children, mid)
+		h = mid
+	}
+	for i := len(children) - 1; i >= 0; i-- {
+		packed := c.Recv((children[i] + root) % p)
+		in := unpackSegs(packed, p)
+		for idx, seg := range in {
+			if seg != nil {
+				segs[idx] = seg
+			}
+		}
+	}
+	if vrank != 0 {
+		parent, myHi := scatterMeta(vrank, p)
+		c.Send((parent+root)%p, packSegs(segs, vrank, myHi))
+		return nil
+	}
+	out := make([]float64, 0, n*p)
+	for i := 0; i < p; i++ {
+		out = append(out, segs[i]...)
+	}
+	return out
+}
+
+// ReduceScatter element-wise reduces data across ranks and scatters
+// the result in equal blocks (reduce-to-root + scatter; len(data)
+// must be divisible by Size()).
+func (c *Comm) ReduceScatter(data []float64, op Op) []float64 {
+	p := c.w.size
+	reduced := c.Reduce(0, data, op)
+	if p == 1 {
+		return reduced
+	}
+	return c.Scatter(0, reduced)
+}
+
+// Alltoall sends block i of data to rank i and returns the blocks
+// received from every rank, in rank order (pairwise-exchange
+// algorithm: p-1 rounds of SendRecv with XOR/shift partners).
+func (c *Comm) Alltoall(data []float64) []float64 {
+	p := c.w.size
+	n := len(data) / p
+	out := make([]float64, len(data))
+	copy(out[c.rank*n:(c.rank+1)*n], data[c.rank*n:(c.rank+1)*n])
+	for round := 1; round < p; round++ {
+		dst := (c.rank + round) % p
+		src := (c.rank - round + p) % p
+		in := c.SendRecv(dst, data[dst*n:(dst+1)*n], src)
+		copy(out[src*n:(src+1)*n], in)
+	}
+	return out
+}

@@ -1,0 +1,622 @@
+// Package mpisim is a simulated MPI runtime: ranks run as goroutines,
+// point-to-point messages travel over channels, and every rank keeps
+// a logical clock advanced by a Hockney (α + m/B) communication model
+// parameterized by the target system's network. Collectives are
+// implemented on top of point-to-point with the real algorithms
+// (binomial trees, recursive doubling, ring allgather, binomial
+// scatter + ring allgather for large-message broadcast), so scaling
+// shapes — including the linear-in-p MPI_Bcast total time that
+// Figure 14 of the Benchpark paper models with Extra-P — emerge from
+// the algorithms rather than from curve fitting.
+//
+// Wall-clock time is decoupled from simulated time: a 3456-rank
+// broadcast sweep runs in milliseconds of real time.
+package mpisim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"repro/internal/hpcsim"
+)
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	// OpSum adds elementwise.
+	OpSum Op = iota
+	// OpMax takes the elementwise maximum.
+	OpMax
+	// OpMin takes the elementwise minimum.
+	OpMin
+)
+
+func (o Op) apply(dst, src []float64) {
+	for i := range dst {
+		switch o {
+		case OpSum:
+			dst[i] += src[i]
+		case OpMax:
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		case OpMin:
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+type message struct {
+	data   []float64
+	sentAt float64
+}
+
+// World owns the channels and configuration of one simulated job.
+type World struct {
+	sys          *hpcsim.System
+	size         int
+	ranksPerNode int
+
+	mu    sync.Mutex
+	links map[[2]int]chan message
+
+	// abort closes when any rank fails, releasing ranks blocked in
+	// communication — MPI_Abort semantics.
+	abort     chan struct{}
+	abortOnce sync.Once
+}
+
+// abortPanic unwinds a rank blocked in communication when the job
+// aborts; the rank wrapper recovers it.
+type abortPanic struct{}
+
+// errAborted is reported by ranks that were torn down by another
+// rank's failure.
+var errAborted = fmt.Errorf("mpisim: job aborted by another rank's failure")
+
+// link returns the FIFO channel from src to dst, creating it lazily
+// (a dense p×p matrix would be prohibitive at 3456 ranks).
+func (w *World) link(src, dst int) chan message {
+	key := [2]int{src, dst}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ch, ok := w.links[key]
+	if !ok {
+		ch = make(chan message, 256)
+		w.links[key] = ch
+	}
+	return ch
+}
+
+// sameNode reports whether two ranks share a node under block
+// placement (rank/ranksPerNode).
+func (w *World) sameNode(a, b int) bool {
+	return a/w.ranksPerNode == b/w.ranksPerNode
+}
+
+// Comm is one rank's communicator handle. It is owned by the rank's
+// goroutine and must not be shared.
+type Comm struct {
+	w     *World
+	rank  int
+	clock float64 // simulated seconds
+	seq   uint64  // message counter for deterministic noise
+}
+
+// Rank returns this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.size }
+
+// System returns the system model the job runs on.
+func (c *Comm) System() *hpcsim.System { return c.w.sys }
+
+// RanksPerNode returns the block placement width.
+func (c *Comm) RanksPerNode() int { return c.w.ranksPerNode }
+
+// Now returns this rank's simulated time in seconds.
+func (c *Comm) Now() float64 { return c.clock }
+
+// Compute advances the rank's clock by a modeled compute duration.
+func (c *Comm) Compute(seconds float64) {
+	if seconds > 0 {
+		c.clock += seconds
+	}
+}
+
+// ComputeFlops advances the clock by flops at the node's sustained
+// per-core rate.
+func (c *Comm) ComputeFlops(flops float64) {
+	rate := c.w.sys.Node.GFlopsPerCore * 1e9
+	c.Compute(flops / rate)
+}
+
+// ComputeBytes advances the clock by a memory-bound sweep over the
+// given bytes; node bandwidth is shared by the ranks on the node.
+func (c *Comm) ComputeBytes(bytes float64) {
+	ranksOnNode := c.w.ranksPerNode
+	if ranksOnNode < 1 {
+		ranksOnNode = 1
+	}
+	bw := c.w.sys.Node.MemBWGBs * 1e9 / float64(ranksOnNode)
+	c.Compute(bytes / bw)
+}
+
+// ComputeOnGPU advances the clock by a GPU kernel: the max of its
+// compute-bound and memory-bound durations plus one host-link
+// round trip for launch/transfer.
+func (c *Comm) ComputeOnGPU(flops, bytes float64) error {
+	gpu := c.w.sys.Node.GPU
+	if gpu == nil {
+		return fmt.Errorf("mpisim: system %s has no GPUs", c.w.sys.Name)
+	}
+	tCompute := flops / (gpu.PeakTF * 1e12)
+	tMemory := bytes / (gpu.MemBWGBs * 1e9)
+	t := math.Max(tCompute, tMemory) + gpu.LinkLatUS*1e-6
+	c.Compute(t)
+	return nil
+}
+
+// noise returns a deterministic multiplier in
+// [1-noisePct, 1+noisePct] derived from the system, rank pair and
+// message sequence number.
+func (c *Comm) noise(partner int) float64 {
+	pct := c.w.sys.SystemNoisePct
+	if pct <= 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d", c.w.sys.Name, c.rank, partner, c.seq)
+	v := float64(h.Sum64()%10000) / 10000.0 // [0,1)
+	return 1 + pct*(2*v-1)
+}
+
+// transferTime models moving n float64s between this rank and a
+// partner: α + m/B with intra-node fast path.
+func (c *Comm) transferTime(partner, n int) float64 {
+	bytes := float64(n) * 8
+	var alpha, bw float64
+	if c.w.sameNode(c.rank, partner) {
+		alpha = 0.4e-6
+		bw = c.w.sys.Node.MemBWGBs * 1e9 / 2 // copy in and out of shared memory
+	} else {
+		alpha = c.w.sys.Network.LatencyUS * 1e-6
+		bw = c.w.sys.Network.BandwidthGBs * 1e9
+	}
+	return (alpha + bytes/bw) * c.noise(partner)
+}
+
+// Send posts data to dst. The sender is charged a small injection
+// overhead; the transfer itself is charged to the receiver's clock.
+func (c *Comm) Send(dst int, data []float64) {
+	if dst == c.rank {
+		panic("mpisim: send to self")
+	}
+	c.seq++
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	c.clock += 0.1e-6 // injection overhead o
+	select {
+	case c.w.link(c.rank, dst) <- message{data: buf, sentAt: c.clock}:
+	case <-c.w.abort:
+		panic(abortPanic{})
+	}
+}
+
+// Recv blocks until a message from src arrives and returns its
+// payload, advancing the clock to the arrival time.
+func (c *Comm) Recv(src int) []float64 {
+	var msg message
+	select {
+	case msg = <-c.w.link(src, c.rank):
+	case <-c.w.abort:
+		panic(abortPanic{})
+	}
+	c.seq++
+	arrive := msg.sentAt + c.transferTime(src, len(msg.data))
+	if arrive > c.clock {
+		c.clock = arrive
+	} else {
+		c.clock += 0.1e-6 // matching overhead when the message waited
+	}
+	return msg.data
+}
+
+// SendRecv exchanges messages with two partners without deadlock.
+func (c *Comm) SendRecv(dst int, data []float64, src int) []float64 {
+	c.Send(dst, data)
+	return c.Recv(src)
+}
+
+// Request is a handle for a nonblocking operation. Completion happens
+// at Wait; compute performed between posting and waiting overlaps
+// with the transfer (the arrival time is compared against the clock
+// at Wait, exactly like MPI overlap).
+type Request struct {
+	c       *Comm
+	src     int
+	isRecv  bool
+	done    bool
+	payload []float64
+}
+
+// Isend posts a nonblocking send. The runtime is eager-buffered, so
+// the send completes immediately; the returned request exists for API
+// symmetry.
+func (c *Comm) Isend(dst int, data []float64) *Request {
+	c.Send(dst, data)
+	return &Request{c: c, done: true}
+}
+
+// Irecv posts a nonblocking receive from src. The message is matched
+// at Wait time.
+func (c *Comm) Irecv(src int) *Request {
+	c.seq++
+	c.clock += 0.1e-6 // posting overhead
+	return &Request{c: c, src: src, isRecv: true}
+}
+
+// Wait completes a request, returning the received payload for
+// receives (nil for sends). Waiting twice returns the same payload.
+func (c *Comm) Wait(r *Request) []float64 {
+	if r.c != c {
+		panic("mpisim: request waited on a different rank's communicator")
+	}
+	if r.done {
+		return r.payload
+	}
+	r.payload = c.Recv(r.src)
+	r.done = true
+	return r.payload
+}
+
+// WaitAll completes several requests in order.
+func (c *Comm) WaitAll(reqs ...*Request) [][]float64 {
+	out := make([][]float64, len(reqs))
+	for i, r := range reqs {
+		out[i] = c.Wait(r)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+// Barrier synchronizes all ranks (dissemination algorithm).
+func (c *Comm) Barrier() {
+	p := c.w.size
+	if p == 1 {
+		return
+	}
+	token := []float64{0}
+	for dist := 1; dist < p; dist *= 2 {
+		dst := (c.rank + dist) % p
+		src := (c.rank - dist + p) % p
+		c.Send(dst, token)
+		c.Recv(src)
+	}
+}
+
+// Bcast broadcasts data from root; every rank returns the payload.
+// The algorithm follows the system's network model: "binomial" for
+// log-p scaling, "scatter-allgather" (binomial scatter + ring
+// allgather, van de Geijn) whose latency term grows linearly in p —
+// the regime Figure 14 measures on CTS.
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	p := c.w.size
+	if p == 1 {
+		return data
+	}
+	switch c.w.sys.Network.BcastAlgo {
+	case "scatter-allgather":
+		return c.bcastScatterAllgather(root, data)
+	default:
+		return c.bcastBinomial(root, data)
+	}
+}
+
+// bcastBinomial is the classic binomial-tree broadcast.
+func (c *Comm) bcastBinomial(root int, data []float64) []float64 {
+	p := c.w.size
+	vrank := (c.rank - root + p) % p
+	// Receive once from the parent (unless root).
+	if vrank != 0 {
+		parent := (vrank&(vrank-1) + root) % p
+		data = c.Recv(parent)
+	}
+	// Forward to children: for each bit above our lowest set bit.
+	lowest := vrank & (-vrank)
+	if vrank == 0 {
+		lowest = nextPow2(p)
+	}
+	for mask := lowest >> 1; mask > 0; mask >>= 1 {
+		child := vrank | mask
+		if child < p && child != vrank {
+			c.Send((child+root)%p, data)
+		}
+	}
+	return data
+}
+
+func nextPow2(n int) int {
+	v := 1
+	for v < n {
+		v <<= 1
+	}
+	return v
+}
+
+// bcastScatterAllgather: binomial scatter of p segments, then a ring
+// allgather with p-1 steps. Each ring step costs α + (m/p)/B, so the
+// total latency term is Θ(p)·α: total time grows linearly with the
+// process count.
+func (c *Comm) bcastScatterAllgather(root int, data []float64) []float64 {
+	p := c.w.size
+	segs := make([][]float64, p)
+	vrank := (c.rank - root + p) % p
+	hi := p // upper bound (exclusive) of the segment range this rank holds
+	if vrank == 0 {
+		n := len(data)
+		segLen := (n + p - 1) / p
+		for i := 0; i < p; i++ {
+			a, b := i*segLen, (i+1)*segLen
+			if a > n {
+				a = n
+			}
+			if b > n {
+				b = n
+			}
+			segs[i] = data[a:b]
+		}
+	} else {
+		parent, myHi := scatterMeta(vrank, p)
+		hi = myHi
+		packed := c.Recv((parent + root) % p)
+		segs = unpackSegs(packed, p)
+	}
+	// Halve our range [vrank,hi), sending the upper half to the child
+	// at its midpoint, until only our own segment remains.
+	lo := vrank
+	for hi-lo > 1 {
+		mid := lo + (hi-lo+1)/2
+		c.Send((mid+root)%p, packSegs(segs, mid, hi))
+		hi = mid
+	}
+
+	// Ring allgather: p-1 steps; each step forwards the segment
+	// received in the previous step (starting from our own) to the
+	// right neighbor.
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	cur := vrank
+	for s := 0; s < p-1; s++ {
+		seg := segs[cur]
+		payload := append([]float64{float64(cur)}, seg...)
+		in := c.SendRecv(right, payload, left)
+		cur = int(in[0])
+		segs[cur] = in[1:]
+	}
+
+	// Reassemble in segment order.
+	var out []float64
+	for i := 0; i < p; i++ {
+		out = append(out, segs[i]...)
+	}
+	return out
+}
+
+// scatterMeta returns the parent virtual rank and the exclusive upper
+// bound of the segment range [vrank,hi) that a virtual rank receives
+// in the halving scatter. Recomputing the descent keeps the send and
+// receive sides structurally consistent.
+func scatterMeta(vrank, p int) (parent, hi int) {
+	lo, hiB := 0, p
+	v := 0
+	for v != vrank {
+		mid := lo + (hiB-lo+1)/2
+		if vrank >= mid {
+			parent = v
+			v = mid
+			lo = mid
+		} else {
+			hiB = mid
+		}
+	}
+	return parent, hiB
+}
+
+// packSegs flattens segments [lo,hi) with length headers.
+func packSegs(segs [][]float64, lo, hi int) []float64 {
+	out := []float64{float64(lo), float64(hi)}
+	for i := lo; i < hi; i++ {
+		out = append(out, float64(len(segs[i])))
+		out = append(out, segs[i]...)
+	}
+	return out
+}
+
+// unpackSegs inverts packSegs into a p-length segment table.
+func unpackSegs(packed []float64, p int) [][]float64 {
+	segs := make([][]float64, p)
+	pos := 2
+	for i := int(packed[0]); i < int(packed[1]); i++ {
+		n := int(packed[pos])
+		pos++
+		segs[i] = packed[pos : pos+n]
+		pos += n
+	}
+	return segs
+}
+
+// Reduce combines data onto root with a binomial tree; root returns
+// the result, others return nil.
+func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
+	p := c.w.size
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if p == 1 {
+		return acc
+	}
+	vrank := (c.rank - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if vrank&mask != 0 {
+			c.Send((parentForReduce(vrank, mask)+root)%p, acc)
+			return nil
+		}
+		partner := vrank | mask
+		if partner < p {
+			in := c.Recv((partner + root) % p)
+			c.Compute(float64(len(acc)) * 1e-9) // reduction arithmetic
+			op.apply(acc, in)
+		}
+	}
+	return acc
+}
+
+func parentForReduce(vrank, mask int) int { return vrank &^ mask }
+
+// Allreduce combines data across all ranks (recursive doubling for
+// power-of-two counts, reduce+bcast otherwise).
+func (c *Comm) Allreduce(data []float64, op Op) []float64 {
+	p := c.w.size
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if p == 1 {
+		return acc
+	}
+	if p&(p-1) == 0 {
+		for mask := 1; mask < p; mask <<= 1 {
+			partner := c.rank ^ mask
+			in := c.SendRecv(partner, acc, partner)
+			c.Compute(float64(len(acc)) * 1e-9)
+			op.apply(acc, in)
+		}
+		return acc
+	}
+	res := c.Reduce(0, acc, op)
+	if c.rank != 0 {
+		res = make([]float64, len(acc))
+	}
+	return c.Bcast(0, res)
+}
+
+// Allgather concatenates each rank's contribution in rank order
+// (ring algorithm).
+func (c *Comm) Allgather(data []float64) []float64 {
+	p := c.w.size
+	n := len(data)
+	out := make([]float64, n*p)
+	copy(out[c.rank*n:], data)
+	if p == 1 {
+		return out
+	}
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	cur := c.rank
+	buf := data
+	for s := 0; s < p-1; s++ {
+		payload := append([]float64{float64(cur)}, buf...)
+		in := c.SendRecv(right, payload, left)
+		cur = int(in[0])
+		buf = in[1:]
+		copy(out[cur*n:], buf)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Job execution
+// ---------------------------------------------------------------------------
+
+// Result summarizes one simulated MPI job.
+type Result struct {
+	Ranks    int
+	MaxTime  float64 // simulated elapsed time (slowest rank)
+	MinTime  float64
+	MeanTime float64
+	PerRank  []float64
+}
+
+// Run executes fn on nranks simulated ranks placed ranksPerNode per
+// node on the given system, and returns per-rank simulated times.
+// Any rank returning an error aborts the job with that error.
+func Run(sys *hpcsim.System, nranks, ranksPerNode int, fn func(*Comm) error) (*Result, error) {
+	if nranks <= 0 {
+		return nil, fmt.Errorf("mpisim: nranks = %d", nranks)
+	}
+	if ranksPerNode <= 0 {
+		ranksPerNode = sys.Node.Cores()
+	}
+	if ranksPerNode > sys.Node.Cores() {
+		return nil, fmt.Errorf("mpisim: %d ranks per node exceeds %d cores on %s",
+			ranksPerNode, sys.Node.Cores(), sys.Name)
+	}
+	nodesNeeded := (nranks + ranksPerNode - 1) / ranksPerNode
+	if nodesNeeded > sys.Nodes {
+		return nil, fmt.Errorf("mpisim: job needs %d nodes, %s has %d", nodesNeeded, sys.Name, sys.Nodes)
+	}
+
+	w := &World{
+		sys: sys, size: nranks, ranksPerNode: ranksPerNode,
+		links: map[[2]int]chan message{}, abort: make(chan struct{}),
+	}
+	times := make([]float64, nranks)
+	errs := make([]error, nranks)
+	var wg sync.WaitGroup
+	for r := 0; r < nranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			comm := &Comm{w: w, rank: rank}
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(abortPanic); ok {
+						errs[rank] = errAborted
+						times[rank] = comm.clock
+						return
+					}
+					panic(rec)
+				}
+			}()
+			errs[rank] = fn(comm)
+			times[rank] = comm.clock
+			if errs[rank] != nil {
+				// Tear down the job so peers blocked in communication
+				// unwind instead of deadlocking (MPI_Abort).
+				w.abortOnce.Do(func() { close(w.abort) })
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Report the root-cause failure, not the collateral aborts.
+	for r, err := range errs {
+		if err != nil && err != errAborted {
+			return nil, fmt.Errorf("mpisim: rank %d: %w", r, err)
+		}
+	}
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mpisim: rank %d: %w", r, err)
+		}
+	}
+	res := &Result{Ranks: nranks, PerRank: times, MinTime: math.Inf(1)}
+	var sum float64
+	for _, t := range times {
+		if t > res.MaxTime {
+			res.MaxTime = t
+		}
+		if t < res.MinTime {
+			res.MinTime = t
+		}
+		sum += t
+	}
+	res.MeanTime = sum / float64(nranks)
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package ramble
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Archive bundles the workspace's configs, rendered scripts, and
+// experiment outputs into a tar.gz — the shareable artifact Section 5
+// envisions when collaborators "contribute the performance results of
+// the benchmarks as they execute them on their systems". The archive
+// carries everything needed to audit how each number was produced.
+func (w *Workspace) Archive(outPath string) error {
+	if !w.setupDone {
+		return fmt.Errorf("ramble: workspace %s has nothing to archive (run Setup first)", w.Name)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	gz := gzip.NewWriter(f)
+	defer gz.Close()
+	tw := tar.NewWriter(gz)
+	defer tw.Close()
+
+	addFile := func(absPath, relPath string) error {
+		data, err := os.ReadFile(absPath)
+		if err != nil {
+			return err
+		}
+		hdr := &tar.Header{
+			Name: relPath,
+			Mode: 0o644,
+			Size: int64(len(data)),
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err = tw.Write(data)
+		return err
+	}
+
+	return filepath.Walk(w.Root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(w.Root, path)
+		if err != nil {
+			return err
+		}
+		return addFile(path, filepath.ToSlash(rel))
+	})
+}
+
+// ExtractArchive unpacks a workspace archive into dir and returns the
+// relative paths extracted (sorted by archive order). Paths escaping
+// the target directory are rejected.
+func ExtractArchive(archivePath, dir string) ([]string, error) {
+	f, err := os.Open(archivePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("ramble: bad archive: %w", err)
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	var out []string
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		clean := filepath.Clean(hdr.Name)
+		if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+			return nil, fmt.Errorf("ramble: archive entry %q escapes the target directory", hdr.Name)
+		}
+		dst := filepath.Join(dir, clean)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			return nil, err
+		}
+		out = append(out, clean)
+	}
+	return out, nil
+}

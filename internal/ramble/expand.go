@@ -1,0 +1,213 @@
+// Package ramble is the experimentation framework of Section 3.2:
+// applications declare how experiments are created (executables,
+// workloads, variables, figures of merit, success criteria), and a
+// workspace turns a concise YAML configuration into a concrete set of
+// experiments — expanding variables, crossing matrices, rendering
+// batch-script templates — then executes them and extracts metrics.
+//
+// The five-command workflow of Figure 5 maps to:
+//
+//	ramble workspace create  -> NewWorkspace
+//	ramble workspace edit    -> Workspace.Configure (ramble.yaml)
+//	ramble workspace setup   -> Workspace.Setup
+//	ramble on                -> Workspace.On
+//	ramble workspace analyze -> Workspace.Analyze
+package ramble
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expander substitutes {variable} references in templates, with
+// recursive expansion and simple arithmetic ({a}*{b} inside one brace
+// pair: {n_nodes*processes_per_node}).
+type Expander struct {
+	vars map[string]string
+}
+
+// NewExpander returns an expander over the given variables.
+func NewExpander(vars map[string]string) *Expander {
+	return &Expander{vars: vars}
+}
+
+// Set defines or overrides a variable.
+func (e *Expander) Set(name, value string) {
+	if e.vars == nil {
+		e.vars = map[string]string{}
+	}
+	e.vars[name] = value
+}
+
+// Get returns the raw (unexpanded) value of a variable.
+func (e *Expander) Get(name string) (string, bool) {
+	v, ok := e.vars[name]
+	return v, ok
+}
+
+// Vars returns a copy of the variable map.
+func (e *Expander) Vars() map[string]string {
+	out := make(map[string]string, len(e.vars))
+	for k, v := range e.vars {
+		out[k] = v
+	}
+	return out
+}
+
+const maxDepth = 32
+
+// Expand substitutes all {…} references in s. Unknown variables are
+// an error, as is unbounded recursion.
+func (e *Expander) Expand(s string) (string, error) {
+	return e.expand(s, 0)
+}
+
+func (e *Expander) expand(s string, depth int) (string, error) {
+	if depth > maxDepth {
+		return "", fmt.Errorf("ramble: expansion depth exceeded (circular variable reference?) in %q", s)
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '{' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		// find matching close brace (no nesting inside a reference)
+		j := strings.IndexByte(s[i:], '}')
+		if j < 0 {
+			return "", fmt.Errorf("ramble: unbalanced '{' in %q", s)
+		}
+		expr := s[i+1 : i+j]
+		val, err := e.eval(expr, depth)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(val)
+		i += j + 1
+	}
+	return b.String(), nil
+}
+
+// eval resolves one brace expression: a variable name, a numeric
+// literal, or a left-to-right arithmetic chain a*b+c over variables
+// and literals (*, /, +, -, // for integer division).
+func (e *Expander) eval(expr string, depth int) (string, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return "", fmt.Errorf("ramble: empty expansion {}")
+	}
+	tokens, err := tokenizeExpr(expr)
+	if err != nil {
+		return "", err
+	}
+	if len(tokens) == 1 {
+		return e.resolveToken(tokens[0], depth)
+	}
+	// arithmetic chain: operand (op operand)*
+	acc, err := e.numericToken(tokens[0], depth)
+	if err != nil {
+		return "", err
+	}
+	for i := 1; i < len(tokens); i += 2 {
+		if i+1 >= len(tokens) {
+			return "", fmt.Errorf("ramble: trailing operator in {%s}", expr)
+		}
+		rhs, err := e.numericToken(tokens[i+1], depth)
+		if err != nil {
+			return "", err
+		}
+		switch tokens[i] {
+		case "*":
+			acc *= rhs
+		case "+":
+			acc += rhs
+		case "-":
+			acc -= rhs
+		case "/":
+			if rhs == 0 {
+				return "", fmt.Errorf("ramble: division by zero in {%s}", expr)
+			}
+			acc /= rhs
+		case "//":
+			if rhs == 0 {
+				return "", fmt.Errorf("ramble: division by zero in {%s}", expr)
+			}
+			acc = float64(int64(acc) / int64(rhs))
+		default:
+			return "", fmt.Errorf("ramble: bad operator %q in {%s}", tokens[i], expr)
+		}
+	}
+	return formatNumber(acc), nil
+}
+
+func (e *Expander) resolveToken(tok string, depth int) (string, error) {
+	if isNumber(tok) {
+		return tok, nil
+	}
+	raw, ok := e.vars[tok]
+	if !ok {
+		return "", fmt.Errorf("ramble: undefined variable %q", tok)
+	}
+	return e.expand(raw, depth+1)
+}
+
+func (e *Expander) numericToken(tok string, depth int) (float64, error) {
+	s, err := e.resolveToken(tok, depth)
+	if err != nil {
+		return 0, err
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("ramble: %q = %q is not numeric", tok, s)
+	}
+	return f, nil
+}
+
+// tokenizeExpr splits "a*b + 3" into operands and operators.
+func tokenizeExpr(expr string) ([]string, error) {
+	var tokens []string
+	i := 0
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == ' ':
+			i++
+		case c == '*' || c == '+' || c == '-' || c == '/':
+			// Allow '//' integer division.
+			if c == '/' && i+1 < len(expr) && expr[i+1] == '/' {
+				tokens = append(tokens, "//")
+				i += 2
+			} else {
+				tokens = append(tokens, string(c))
+				i++
+			}
+		default:
+			j := i
+			for j < len(expr) && expr[j] != ' ' && expr[j] != '*' && expr[j] != '+' &&
+				expr[j] != '-' && expr[j] != '/' {
+				j++
+			}
+			tokens = append(tokens, expr[i:j])
+			i = j
+		}
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("ramble: empty expression")
+	}
+	return tokens, nil
+}
+
+func isNumber(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+func formatNumber(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,127 @@
+package ramble
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandSimple(t *testing.T) {
+	ex := NewExpander(map[string]string{"n": "512", "name": "saxpy"})
+	got, err := ex.Expand("{name} -n {n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "saxpy -n 512" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestExpandRecursive(t *testing.T) {
+	ex := NewExpander(map[string]string{
+		"mpi_command":        "srun -N {n_nodes} -n {n_ranks}",
+		"n_nodes":            "2",
+		"n_ranks":            "{processes_per_node*n_nodes}",
+		"processes_per_node": "8",
+	})
+	got, err := ex.Expand("{mpi_command}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "srun -N 2 -n 16" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestExpandArithmetic(t *testing.T) {
+	ex := NewExpander(map[string]string{"a": "6", "b": "4"})
+	cases := map[string]string{
+		"{a*b}":   "24",
+		"{a+b}":   "10",
+		"{a-b}":   "2",
+		"{a/b}":   "1.5",
+		"{a//b}":  "1",
+		"{a*b+a}": "30", // left-to-right
+		"{a * b}": "24",
+		"{2*a}":   "12",
+		"{100}":   "100",
+	}
+	for in, want := range cases {
+		got, err := ex.Expand(in)
+		if err != nil {
+			t.Errorf("%s: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	ex := NewExpander(map[string]string{"loop": "{loop}", "s": "abc"})
+	for _, in := range []string{
+		"{missing}",
+		"{loop}",    // circular
+		"{unclosed", // unbalanced
+		"{}",        // empty
+		"{s*2}",     // non-numeric operand
+		"{s }{",     // trailing open
+		"{2*}",      // trailing operator
+	} {
+		if _, err := ex.Expand(in); err == nil {
+			t.Errorf("Expand(%q): expected error", in)
+		}
+	}
+}
+
+func TestExpandDivisionByZero(t *testing.T) {
+	ex := NewExpander(map[string]string{"z": "0"})
+	if _, err := ex.Expand("{4/z}"); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := ex.Expand("{4//z}"); err == nil {
+		t.Error("integer division by zero should error")
+	}
+}
+
+func TestExpandFigure10Name(t *testing.T) {
+	ex := NewExpander(map[string]string{
+		"n": "512", "n_nodes": "1", "n_ranks": "8", "n_threads": "2",
+	})
+	got, err := ex.Expand("saxpy_{n}_{n_nodes}_{n_ranks}_{n_threads}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "saxpy_512_1_8_2" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// Property: text without braces passes through unchanged.
+func TestQuickExpandPassthrough(t *testing.T) {
+	ex := NewExpander(nil)
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "{}") {
+			return true
+		}
+		got, err := ex.Expand(s)
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAndVars(t *testing.T) {
+	ex := NewExpander(nil)
+	ex.Set("k", "v")
+	if v, ok := ex.Get("k"); !ok || v != "v" {
+		t.Error("Set/Get")
+	}
+	vars := ex.Vars()
+	vars["k"] = "mutated"
+	if v, _ := ex.Get("k"); v != "v" {
+		t.Error("Vars() must return a copy")
+	}
+}

@@ -1,0 +1,44 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTree renders a spec DAG the way `spack spec` prints it: the
+// root node followed by indented dependencies, each with its full
+// node rendering, marking externals and repeated (unified) nodes.
+//
+//	amg2023@1.0%gcc@12.1.1+caliper target=broadwell
+//	    ^caliper@2.9.0%gcc@12.1.1+adiak~papi ...
+//	        ^adiak@0.4.0%gcc@12.1.1 ...
+func FormatTree(root *Spec) string {
+	var b strings.Builder
+	seen := map[*Spec]bool{}
+	var walk func(n *Spec, depth int)
+	walk = func(n *Spec, depth int) {
+		indent := strings.Repeat("    ", depth)
+		marker := ""
+		if depth > 0 {
+			marker = "^"
+		}
+		if seen[n] {
+			fmt.Fprintf(&b, "%s%s%s  [^ unified above]\n", indent, marker, n.ShortString())
+			return
+		}
+		seen[n] = true
+		fmt.Fprintf(&b, "%s%s%s\n", indent, marker, n.renderNode())
+		for _, name := range sortedDepNames(n) {
+			walk(n.Deps[name], depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+// NodeCount returns the number of distinct nodes in the DAG.
+func NodeCount(root *Spec) int {
+	n := 0
+	root.Traverse(func(*Spec) { n++ })
+	return n
+}

@@ -1,0 +1,100 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatTree(t *testing.T) {
+	root := MustParse("app@1.0")
+	depA := MustParse("liba@2.0")
+	depB := MustParse("libb@3.0")
+	shared := MustParse("zlib@1.2.12")
+	shared.External = "/usr/lib"
+	_ = depA.AddDep(shared)
+	_ = depB.AddDep(shared)
+	_ = root.AddDep(depA)
+	_ = root.AddDep(depB)
+
+	out := FormatTree(root)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "app@1.0") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	// Dependencies indented with ^ markers.
+	if !strings.Contains(out, "    ^liba@2.0") || !strings.Contains(out, "    ^libb@3.0") {
+		t.Errorf("deps:\n%s", out)
+	}
+	// The shared node appears once fully and once as unified.
+	if strings.Count(out, "[external:/usr/lib]") != 1 {
+		t.Errorf("external annotation:\n%s", out)
+	}
+	if strings.Count(out, "[^ unified above]") != 1 {
+		t.Errorf("unified annotation:\n%s", out)
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	root := MustParse("app ^a ^b")
+	if got := NodeCount(root); got != 3 {
+		t.Errorf("count = %d", got)
+	}
+	if got := NodeCount(MustParse("solo")); got != 1 {
+		t.Errorf("solo count = %d", got)
+	}
+}
+
+func TestEncodeDecodeDAG(t *testing.T) {
+	root := MustParse("app@1.0+x %gcc@12.1.1 target=broadwell")
+	dep := MustParse("lib@2.0 %gcc@12.1.1 target=broadwell")
+	ext := MustParse("mpi2@3.0 target=broadwell")
+	ext.External = "/usr/lib/mpi2"
+	if err := dep.AddDep(ext); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.AddDep(dep); err != nil {
+		t.Fatal(err)
+	}
+	if err := ext.MarkConcrete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.MarkConcrete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.MarkConcrete(); err != nil {
+		t.Fatal(err)
+	}
+
+	nodes, roots := EncodeDAG([]*Spec{root})
+	if len(nodes) != 3 || len(roots) != 1 {
+		t.Fatalf("nodes=%d roots=%d", len(nodes), len(roots))
+	}
+	decoded, err := DecodeDAG(nodes, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded[0].DAGHash() != root.DAGHash() {
+		t.Errorf("hash mismatch: %s vs %s", decoded[0], root)
+	}
+	if decoded[0].FindDep("mpi2").External != "/usr/lib/mpi2" {
+		t.Error("external lost")
+	}
+
+	// Tampering detected.
+	for h, en := range nodes {
+		en.Node = strings.Replace(en.Node, "2.0", "2.1", 1)
+		nodes[h] = en
+	}
+	if _, err := DecodeDAG(nodes, roots); err == nil {
+		t.Error("tampered table must fail verification")
+	}
+}
+
+func TestDecodeDAGDangling(t *testing.T) {
+	if _, err := DecodeDAG(map[string]EncodedNode{}, []string{"nope"}); err == nil {
+		t.Error("dangling root should fail")
+	}
+}

@@ -1,0 +1,209 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a spec expression such as
+//
+//	amg2023@1.0+caliper~debug build_type=Release %gcc@12.1.1 ^cmake@3.23.1 ^mpi
+//
+// into an abstract spec DAG. The first node is the root; each "^"
+// clause opens a dependency node. Sigils may be attached to the
+// previous token or separated by whitespace; "-variant" negation is
+// accepted only at the start of a whitespace-delimited word (matching
+// Spack, which restricts it to avoid ambiguity with version strings).
+func Parse(input string) (*Spec, error) {
+	p := &specParser{src: input}
+	root, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("spec: parsing %q: %w", input, err)
+	}
+	return root, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+// It is intended for package recipes and tests.
+func MustParse(input string) *Spec {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type specParser struct {
+	src string
+	pos int
+}
+
+func (p *specParser) parse() (*Spec, error) {
+	root := New("")
+	cur := root
+	for {
+		before := p.pos
+		p.skipSpaces()
+		atWordStart := p.pos == 0 || p.pos > before
+		if p.pos >= len(p.src) {
+			break
+		}
+		c := p.src[p.pos]
+		switch {
+		case c == '^':
+			p.pos++
+			p.skipSpaces()
+			name := p.readIdent()
+			if name == "" {
+				return nil, fmt.Errorf("expected package name after '^'")
+			}
+			dep := New(name)
+			if err := root.AddDep(dep); err != nil {
+				return nil, err
+			}
+			cur = root.Deps[name]
+		case c == '@':
+			p.pos++
+			text := p.readUntil("@+~%^= \t")
+			vl, err := ParseVersionList(text)
+			if err != nil {
+				return nil, err
+			}
+			merged, err := cur.Versions.Constrain(vl)
+			if err != nil {
+				return nil, err
+			}
+			cur.Versions = merged
+		case c == '+':
+			p.pos++
+			name := p.readIdent()
+			if name == "" {
+				return nil, fmt.Errorf("expected variant name after '+'")
+			}
+			if err := p.setBoolVariant(cur, name, true); err != nil {
+				return nil, err
+			}
+		case c == '~':
+			p.pos++
+			name := p.readIdent()
+			if name == "" {
+				return nil, fmt.Errorf("expected variant name after '~'")
+			}
+			if err := p.setBoolVariant(cur, name, false); err != nil {
+				return nil, err
+			}
+		case c == '-' && atWordStart:
+			p.pos++
+			name := p.readIdent()
+			if name == "" {
+				return nil, fmt.Errorf("expected variant name after '-'")
+			}
+			if err := p.setBoolVariant(cur, name, false); err != nil {
+				return nil, err
+			}
+		case c == '%':
+			p.pos++
+			name := p.readIdent()
+			if name == "" {
+				return nil, fmt.Errorf("expected compiler name after '%%'")
+			}
+			comp := &Compiler{Name: name}
+			if p.pos < len(p.src) && p.src[p.pos] == '@' {
+				p.pos++
+				text := p.readUntil("@+~%^= \t")
+				vl, err := ParseVersionList(text)
+				if err != nil {
+					return nil, err
+				}
+				comp.Versions = vl
+			}
+			if cur.Compiler != nil {
+				return nil, fmt.Errorf("duplicate compiler constraint on %q", cur.Name)
+			}
+			cur.Compiler = comp
+		default:
+			word := p.readIdent()
+			if word == "" {
+				return nil, fmt.Errorf("unexpected character %q", string(c))
+			}
+			if p.pos < len(p.src) && p.src[p.pos] == '=' {
+				p.pos++
+				val := p.readUntil(" \t^")
+				if val == "" {
+					return nil, fmt.Errorf("empty value for %q", word)
+				}
+				switch word {
+				case "target":
+					cur.Target = val
+				case "platform":
+					cur.Platform = val
+				case "arch":
+					// arch=platform-os-target or arch=target
+					parts := strings.Split(val, "-")
+					if len(parts) >= 3 {
+						cur.Platform = parts[0]
+						cur.Target = strings.Join(parts[2:], "-")
+					} else {
+						cur.Target = val
+					}
+				default:
+					vals := strings.Split(val, ",")
+					if old, ok := cur.Variants[word]; ok && !old.Equal(StringVariant(vals...)) {
+						return nil, fmt.Errorf("conflicting values for variant %q", word)
+					}
+					cur.SetVariant(word, StringVariant(vals...))
+				}
+				continue
+			}
+			if cur.Name != "" {
+				return nil, fmt.Errorf("unexpected token %q: node already named %q", word, cur.Name)
+			}
+			cur.Name = word
+		}
+	}
+	if root.Name == "" && len(root.Deps) == 0 && len(root.Variants) == 0 &&
+		root.Versions.Any() && root.Compiler == nil {
+		return nil, fmt.Errorf("empty spec")
+	}
+	return root, nil
+}
+
+func (p *specParser) setBoolVariant(s *Spec, name string, val bool) error {
+	if old, ok := s.Variants[name]; ok && !old.Equal(BoolVariant(val)) {
+		return fmt.Errorf("conflicting values for variant %q", name)
+	}
+	s.SetVariant(name, BoolVariant(val))
+	return nil
+}
+
+func (p *specParser) skipSpaces() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+		// a space resets word-start, handled by caller reading c.
+	}
+}
+
+// readIdent reads a package/variant/compiler identifier:
+// letters, digits, '-', '_', '.'.
+func (p *specParser) readIdent() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+// readUntil reads characters until one of the stop bytes (or EOL).
+func (p *specParser) readUntil(stop string) string {
+	start := p.pos
+	for p.pos < len(p.src) && !strings.ContainsRune(stop, rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}

@@ -1,0 +1,167 @@
+package thicket
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/adiak"
+	"repro/internal/caliper"
+)
+
+func run(region string, total float64, meta map[string]string) (*caliper.Profile, *adiak.Metadata) {
+	p := caliper.NewProfile()
+	p.Regions[region] = caliper.RegionStat{Count: 1, Total: total, Min: total, Max: total}
+	md := adiak.New()
+	for k, v := range meta {
+		md.Set(k, v)
+	}
+	return p, md
+}
+
+func TestFilterAndGroupBy(t *testing.T) {
+	th := New()
+	th.Add(run("solve", 1, map[string]string{"cluster": "cts1", "n_ranks": "64"}))
+	th.Add(run("solve", 2, map[string]string{"cluster": "cts1", "n_ranks": "128"}))
+	th.Add(run("solve", 3, map[string]string{"cluster": "ats2", "n_ranks": "64"}))
+	if th.Len() != 3 {
+		t.Fatalf("len = %d", th.Len())
+	}
+	cts := th.Filter("cluster=cts1")
+	if cts.Len() != 2 {
+		t.Errorf("filter = %d", cts.Len())
+	}
+	both := th.Filter("cluster=cts1", "n_ranks=64")
+	if both.Len() != 1 {
+		t.Errorf("multi filter = %d", both.Len())
+	}
+	groups := th.GroupBy("cluster")
+	if len(groups) != 2 || groups["cts1"].Len() != 2 || groups["ats2"].Len() != 1 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestRegionStats(t *testing.T) {
+	th := New()
+	for _, v := range []float64{2, 4, 6} {
+		th.Add(run("solve", v, nil))
+	}
+	st := th.RegionStats("solve")
+	if st.N != 3 || st.Mean != 4 || st.Min != 2 || st.Max != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.Std-math.Sqrt(8.0/3.0)) > 1e-9 {
+		t.Errorf("std = %v", st.Std)
+	}
+	if empty := th.RegionStats("nope"); empty.N != 0 {
+		t.Errorf("missing region stats = %+v", empty)
+	}
+}
+
+// TestFigure14Pipeline: compose runs at several scales, fit Extra-P,
+// recover the linear MPI_Bcast model.
+func TestFigure14Pipeline(t *testing.T) {
+	th := New()
+	for _, p := range []float64{64, 128, 256, 512, 1024, 2048, 3456} {
+		total := -0.6356 + 0.0466*p
+		th.Add(run("MPI_Bcast", total, map[string]string{
+			"cluster": "cts1", "n_ranks: ": "x", "nprocs": itoa(int(p)),
+		}))
+	}
+	model, err := th.FitScalingModel("nprocs", "MPI_Bcast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.I != 1 || model.J != 0 {
+		t.Errorf("model = %s, want linear", model)
+	}
+	if math.Abs(model.C1-0.0466) > 1e-3 {
+		t.Errorf("slope = %v", model.C1)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+func TestScalingSeriesErrors(t *testing.T) {
+	th := New()
+	th.Add(run("solve", 1, map[string]string{"n_ranks": "not-a-number"}))
+	if _, err := th.ScalingSeries("n_ranks", "solve"); err == nil {
+		t.Error("non-numeric parameter should error")
+	}
+	th2 := New()
+	th2.Add(run("solve", 1, nil)) // no parameter metadata at all
+	if _, err := th2.ScalingSeries("n_ranks", "solve"); err == nil {
+		t.Error("missing parameter should error")
+	}
+}
+
+func TestRegionsUnion(t *testing.T) {
+	th := New()
+	th.Add(run("a", 1, nil))
+	th.Add(run("b", 1, nil))
+	regions := th.Regions()
+	if len(regions) != 2 || regions[0] != "a" || regions[1] != "b" {
+		t.Errorf("regions = %v", regions)
+	}
+}
+
+func TestTable(t *testing.T) {
+	th := New()
+	th.Add(run("solve", 1.5, map[string]string{"cluster": "cts1"}))
+	th.Add(run("solve", 2.5, map[string]string{"cluster": "ats2"}))
+	tbl := th.Table("cluster", []string{"solve"})
+	if !strings.Contains(tbl, "cts1") || !strings.Contains(tbl, "ats2") ||
+		!strings.Contains(tbl, "solve") {
+		t.Errorf("table:\n%s", tbl)
+	}
+}
+
+func TestFitScalingModelMulti(t *testing.T) {
+	th := New()
+	for _, p := range []float64{8, 16, 32, 64, 128, 256} {
+		total := 0.02*p + 1.5*math.Sqrt(p)
+		th.Add(run("mixed", total, map[string]string{"nprocs": itoa(int(p))}))
+	}
+	m, err := th.FitScalingModelMulti("nprocs", "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasSecond {
+		t.Errorf("mixed-growth region should select a two-term model, got %s", m)
+	}
+}
+
+func TestAddFromJSON(t *testing.T) {
+	p := caliper.NewProfile()
+	p.Regions["solve"] = caliper.RegionStat{Count: 1, Total: 3.5, Min: 3.5, Max: 3.5}
+	js, err := p.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := New()
+	if err := th.AddFromJSON(js, "cluster=riken", "nprocs=64"); err != nil {
+		t.Fatal(err)
+	}
+	if th.Filter("cluster=riken").Len() != 1 {
+		t.Error("metadata lost")
+	}
+	if th.RegionStats("solve").Mean != 3.5 {
+		t.Error("profile lost")
+	}
+	if err := th.AddFromJSON(js, "malformed"); err == nil {
+		t.Error("bad selector should fail")
+	}
+	if err := th.AddFromJSON("{bad"); err == nil {
+		t.Error("bad json should fail")
+	}
+}
