@@ -17,9 +17,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dashboard"
@@ -34,7 +37,61 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// execOpts carries the global engine flags: worker-pool width and the
+// overall deadline plumbed into the engine's context.
+type execOpts struct {
+	jobs    int
+	timeout time.Duration
+}
+
+// context returns the context the engine runs under.
+func (o execOpts) context() (context.Context, context.CancelFunc) {
+	if o.timeout > 0 {
+		return context.WithTimeout(context.Background(), o.timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// parseGlobalFlags strips --jobs N and --timeout DUR (accepted
+// anywhere on the command line, before or after the subcommand) and
+// returns the remaining arguments.
+func parseGlobalFlags(args []string) (execOpts, []string, error) {
+	opts := execOpts{jobs: runtime.NumCPU()}
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "--jobs", "-jobs", "-j":
+			if i+1 >= len(args) {
+				return opts, nil, fmt.Errorf("%s needs a worker count", args[i])
+			}
+			n, err := strconv.Atoi(args[i+1])
+			if err != nil || n < 1 {
+				return opts, nil, fmt.Errorf("bad worker count %q", args[i+1])
+			}
+			opts.jobs = n
+			i++
+		case "--timeout", "-timeout":
+			if i+1 >= len(args) {
+				return opts, nil, fmt.Errorf("%s needs a duration (e.g. 30s, 5m)", args[i])
+			}
+			d, err := time.ParseDuration(args[i+1])
+			if err != nil || d <= 0 {
+				return opts, nil, fmt.Errorf("bad timeout %q", args[i+1])
+			}
+			opts.timeout = d
+			i++
+		default:
+			rest = append(rest, args[i])
+		}
+	}
+	return opts, rest, nil
+}
+
+func run(rawArgs []string) error {
+	opts, args, err := parseGlobalFlags(rawArgs)
+	if err != nil {
+		return err
+	}
 	if len(args) == 0 {
 		usage()
 		return nil
@@ -64,9 +121,9 @@ func run(args []string) error {
 		fmt.Print(core.ComponentTable())
 		return nil
 	case "figure14":
-		return figure14(args[1:])
+		return figure14(args[1:], opts)
 	case "ci-demo":
-		return ciDemo()
+		return ciDemo(opts)
 	case "spec":
 		return specCmd(args[1:])
 	case "find":
@@ -89,7 +146,7 @@ func run(args []string) error {
 		usage()
 		return fmt.Errorf("expected: benchpark <suite> <system> <workspace-dir>")
 	}
-	return runSuite(args[0], args[1], args[2])
+	return runSuite(args[0], args[1], args[2], opts)
 }
 
 func usage() {
@@ -102,17 +159,21 @@ func usage() {
   benchpark regressions <json> <bench> <fom>
   benchpark archive <suite> <system> <out.tar.gz>
   benchpark provision <name> <instance-type> <nodes> [suite]
-  benchpark report [out.md] [-full]`)
+  benchpark report [out.md] [-full]
+
+global flags (accepted anywhere):
+  --jobs N        engine worker-pool width (default: number of CPUs)
+  --timeout DUR   overall deadline for the run (e.g. 30s, 5m)`)
 }
 
-func runSuite(suite, system, dir string) error {
+func runSuite(suite, system, dir string, opts execOpts) error {
 	bp := core.New()
 	sess, err := bp.Setup(suite, system, dir)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("==> workspace %s for %s on %s\n", dir, suite, system)
-	rep, err := sess.RunAll()
+	fmt.Printf("==> workspace %s for %s on %s (%d workers)\n", dir, suite, system, opts.jobs)
+	rep, _, err := sess.Run(context.Background(), core.RunOptions{Jobs: opts.jobs, Timeout: opts.timeout})
 	if err != nil {
 		return err
 	}
@@ -138,7 +199,7 @@ func runSuite(suite, system, dir string) error {
 	return nil
 }
 
-func figure14(args []string) error {
+func figure14(args []string, opts execOpts) error {
 	var scales []int
 	svgOut := ""
 	for i := 0; i < len(args); i++ {
@@ -163,7 +224,9 @@ func figure14(args []string) error {
 	}
 	fmt.Printf("==> MPI_Bcast on %s: scales %v (this sweeps a real %d-rank simulation)\n",
 		study.System.Name, study.Scales, study.Scales[len(study.Scales)-1])
-	res, err := study.Run(core.New())
+	ctx, cancel := opts.context()
+	defer cancel()
+	res, err := study.RunContext(ctx, core.New(), opts.jobs)
 	if err != nil {
 		return err
 	}
@@ -183,7 +246,7 @@ func figure14(args []string) error {
 	return nil
 }
 
-func ciDemo() error {
+func ciDemo(opts execOpts) error {
 	bp := core.New()
 	dir, err := os.MkdirTemp("", "benchpark-ci-*")
 	if err != nil {
@@ -195,7 +258,9 @@ func ciDemo() error {
 		return err
 	}
 	fmt.Println("==> contributor 'jens' opens a PR; site admin 'olga' approves")
-	res, err := auto.SubmitContribution("jens", "add RIKEN notes",
+	ctx, cancel := opts.context()
+	defer cancel()
+	res, err := auto.SubmitContributionContext(ctx, "jens", "add RIKEN notes",
 		map[string]string{"docs/riken.md": "results"}, "olga")
 	if err != nil {
 		return err

@@ -186,3 +186,52 @@ func TestRunSuiteFailurePath(t *testing.T) {
 		t.Error("incompatible suite should fail")
 	}
 }
+
+func TestGlobalFlagsParsing(t *testing.T) {
+	opts, rest, err := parseGlobalFlags([]string{"--jobs", "4", "suites", "--timeout", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.jobs != 4 || opts.timeout.Seconds() != 30 {
+		t.Errorf("opts = %+v", opts)
+	}
+	if len(rest) != 1 || rest[0] != "suites" {
+		t.Errorf("rest = %v", rest)
+	}
+	for _, bad := range [][]string{
+		{"--jobs"},             // missing value
+		{"--jobs", "x"},        // not a number
+		{"--jobs", "0"},        // not positive
+		{"--timeout"},          // missing value
+		{"--timeout", "bogus"}, // not a duration
+		{"--timeout", "-5s"},   // not positive
+	} {
+		if _, _, err := parseGlobalFlags(bad); err == nil {
+			t.Errorf("parseGlobalFlags(%v) should fail", bad)
+		}
+	}
+}
+
+// TestRunSuiteWithJobsFlag runs a suite through the CLI with a bounded
+// worker pool and an ample deadline — the flags flow into the engine.
+func TestRunSuiteWithJobsFlag(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"--jobs", "2", "--timeout", "10m", "saxpy/openmp", "cts1", dir}); err != nil {
+		t.Fatalf("suite run with flags: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "logs", "results.json")); err != nil {
+		t.Errorf("results artifact missing: %v", err)
+	}
+}
+
+func TestRunSuiteTimeoutCancels(t *testing.T) {
+	// A 1ns deadline expires before the engine's first stage; the run
+	// must fail with a cancellation error instead of hanging.
+	err := run([]string{"--timeout", "1ns", "saxpy/openmp", "cts1", t.TempDir()})
+	if err == nil {
+		t.Fatal("expired deadline should fail the run")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("error = %v, want a deadline error", err)
+	}
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestAcceptanceExample runs the full acceptance-report scenario: the
+// healthy delivery must pass and the misconfigured one must be
+// rejected — run() enforces both and errors otherwise.
+func TestAcceptanceExample(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("acceptance example: %v", err)
+	}
+}

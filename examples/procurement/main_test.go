@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+// TestProcurementExample runs the full procurement comparison: every
+// candidate system is measured against the incumbent and ranked;
+// run() errors if any benchmark or FOM extraction breaks.
+func TestProcurementExample(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("procurement example: %v", err)
+	}
+}

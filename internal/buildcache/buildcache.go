@@ -1,0 +1,131 @@
+// Package buildcache is the community binary cache of the Benchpark
+// deployment (DESIGN.md §2, Section 7.2's "rolling binary cache"
+// fronted by Amazon CloudFront / S3): a content-addressed store of
+// built binaries keyed by the concrete spec's DAG hash.
+//
+// The cache is safe for concurrent use — in a continuous-benchmarking
+// deployment many site installers push and fetch at once — and keeps
+// hit/miss/put statistics for the cache-ablation experiments.
+package buildcache
+
+import (
+	"sort"
+	"sync"
+)
+
+// Entry is one cached binary: the content address (spec DAG hash),
+// the spec text it was built from, its size in bytes, and the
+// package/version/target triple used for compatible-binary reuse
+// (relocatable binaries gated by archspec compatibility).
+type Entry struct {
+	Hash     string
+	SpecText string
+	Size     int64
+	Package  string
+	Version  string
+	Target   string
+}
+
+// Cache is an S3-like binary cache, content-addressed by spec hash.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+
+	hits, misses, puts int
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{entries: map[string]Entry{}}
+}
+
+// Put stores an entry under its hash. Content addressing makes the
+// operation idempotent: re-pushing the same hash overwrites in place
+// rather than duplicating.
+func (c *Cache) Put(e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.puts++
+	c.entries[e.Hash] = e
+}
+
+// Get fetches the entry for a hash, recording a hit or a miss.
+func (c *Cache) Get(hash string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[hash]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// Has reports whether a hash is cached without touching the
+// hit/miss statistics.
+func (c *Cache) Has(hash string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.entries[hash]
+	return ok
+}
+
+// Len reports the number of cached binaries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// TotalSize reports the cumulative size of all cached binaries.
+func (c *Cache) TotalSize() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var total int64
+	for _, e := range c.entries {
+		total += e.Size
+	}
+	return total
+}
+
+// Hashes returns the cached hashes, sorted.
+func (c *Cache) Hashes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.entries))
+	for h := range c.entries {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns the lifetime hit/miss/put counters.
+func (c *Cache) Stats() (hits, misses, puts int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses, c.puts
+}
+
+// FindCompatible returns the cached entries of the given package and
+// version whose build target satisfies pred (the caller supplies the
+// archspec compatibility check), sorted by hash for determinism.
+// An exact hash hit is not required — this is the fallback lookup
+// behind Spack's relocatable-binary reuse.
+func (c *Cache) FindCompatible(name, version string, pred func(target string) bool) []Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Entry
+	for _, e := range c.entries {
+		if e.Package != name || e.Version != version {
+			continue
+		}
+		if pred != nil && !pred(e.Target) {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out
+}

@@ -1,0 +1,96 @@
+package buildcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetContentAddressed(t *testing.T) {
+	c := New()
+	c.Put(Entry{Hash: "abc", SpecText: "zlib@1.2.12", Size: 100, Package: "zlib", Version: "1.2.12", Target: "x86_64"})
+	e, ok := c.Get("abc")
+	if !ok || e.SpecText != "zlib@1.2.12" || e.Size != 100 {
+		t.Fatalf("get = %+v, %v", e, ok)
+	}
+	// Re-pushing the same hash is idempotent (content addressing).
+	c.Put(Entry{Hash: "abc", SpecText: "zlib@1.2.12", Size: 100, Package: "zlib", Version: "1.2.12", Target: "x86_64"})
+	if c.Len() != 1 {
+		t.Errorf("len = %d after duplicate put", c.Len())
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Error("missing hash should miss")
+	}
+	hits, misses, puts := c.Stats()
+	if hits != 1 || misses != 1 || puts != 2 {
+		t.Errorf("stats = %d/%d/%d, want 1/1/2", hits, misses, puts)
+	}
+	if !c.Has("abc") || c.Has("missing") {
+		t.Error("Has wrong")
+	}
+	// Has must not perturb the statistics.
+	if h, m, _ := c.Stats(); h != 1 || m != 1 {
+		t.Errorf("Has changed stats: %d/%d", h, m)
+	}
+	if got := c.Hashes(); len(got) != 1 || got[0] != "abc" {
+		t.Errorf("hashes = %v", got)
+	}
+	if c.TotalSize() != 100 {
+		t.Errorf("total size = %d", c.TotalSize())
+	}
+}
+
+func TestFindCompatible(t *testing.T) {
+	c := New()
+	c.Put(Entry{Hash: "h1", Package: "zlib", Version: "1.2.12", Target: "x86_64"})
+	c.Put(Entry{Hash: "h2", Package: "zlib", Version: "1.2.12", Target: "broadwell"})
+	c.Put(Entry{Hash: "h3", Package: "zlib", Version: "1.2.13", Target: "x86_64"})
+	c.Put(Entry{Hash: "h4", Package: "cmake", Version: "1.2.12", Target: "x86_64"})
+
+	all := c.FindCompatible("zlib", "1.2.12", nil)
+	if len(all) != 2 || all[0].Hash != "h1" || all[1].Hash != "h2" {
+		t.Errorf("nil pred = %+v", all)
+	}
+	got := c.FindCompatible("zlib", "1.2.12", func(target string) bool { return target == "x86_64" })
+	if len(got) != 1 || got[0].Hash != "h1" {
+		t.Errorf("filtered = %+v", got)
+	}
+	if got := c.FindCompatible("zlib", "9.9.9", nil); len(got) != 0 {
+		t.Errorf("wrong version matched: %+v", got)
+	}
+	if got := c.FindCompatible("nope", "1.2.12", nil); len(got) != 0 {
+		t.Errorf("wrong package matched: %+v", got)
+	}
+}
+
+// TestConcurrentAccess hammers the cache from many goroutines; run
+// with -race this is the concurrency-safety check for the shared
+// community cache.
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := fmt.Sprintf("hash-%d", i)
+			c.Put(Entry{Hash: h, Package: "zlib", Version: "1.2.12", Target: "x86_64", Size: int64(i)})
+			c.Get(h)
+			c.Get("never")
+			c.Has(h)
+			c.FindCompatible("zlib", "1.2.12", func(string) bool { return true })
+			c.Hashes()
+			c.Len()
+			c.TotalSize()
+			c.Stats()
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() != 32 {
+		t.Errorf("len = %d", c.Len())
+	}
+	hits, misses, puts := c.Stats()
+	if hits != 32 || misses != 32 || puts != 32 {
+		t.Errorf("stats = %d/%d/%d", hits, misses, puts)
+	}
+}

@@ -1,6 +1,7 @@
 package ci
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -38,7 +39,7 @@ func setup(t *testing.T, exec JobExecutor) (*GitHub, *GitLab, *Hubcast) {
 
 	gl := NewGitLab(NewRepo("benchpark-mirror"), gh)
 	if exec == nil {
-		exec = func(job *CIJob) (string, error) {
+		exec = func(ctx context.Context, job *CIJob) (string, error) {
 			return "ran " + strings.Join(job.Script, "; "), nil
 		}
 	}
@@ -224,7 +225,7 @@ func TestTrustedBypassCriteria(t *testing.T) {
 }
 
 func TestPipelineFailureStreamsFailure(t *testing.T) {
-	gh, _, hub := setup(t, func(job *CIJob) (string, error) {
+	gh, _, hub := setup(t, func(ctx context.Context, job *CIJob) (string, error) {
 		if job.Stage == "bench" {
 			return "", fmt.Errorf("benchmark crashed")
 		}
@@ -251,7 +252,7 @@ func TestPipelineFailureStreamsFailure(t *testing.T) {
 }
 
 func TestStageFailureSkipsLaterStages(t *testing.T) {
-	gh, _, hub := setup(t, func(job *CIJob) (string, error) {
+	gh, _, hub := setup(t, func(ctx context.Context, job *CIJob) (string, error) {
 		if job.Stage == "build" {
 			return "", fmt.Errorf("compile error")
 		}
@@ -273,7 +274,7 @@ func TestStageFailureSkipsLaterStages(t *testing.T) {
 
 func TestNoMatchingRunnerSkips(t *testing.T) {
 	gh, gl, hub := setup(t, nil)
-	gl.RegisterRunner(&Runner{Name: "riken", Site: "RIKEN", Tags: []string{"fugaku"}, Exec: func(*CIJob) (string, error) { return "", nil }})
+	gl.RegisterRunner(&Runner{Name: "riken", Site: "RIKEN", Tags: []string{"fugaku"}, Exec: func(context.Context, *CIJob) (string, error) { return "", nil }})
 	// Job demands a tag no runner offers.
 	fork := gh.Fork("newcomer/benchpark")
 	custom := `

@@ -1,6 +1,7 @@
 package ci
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -119,8 +120,10 @@ func contains(list []string, s string) bool {
 }
 
 // JobExecutor runs one job's script and returns its log output.
-// The Benchpark core wires this to actual benchmark execution.
-type JobExecutor func(job *CIJob) (log string, err error)
+// The Benchpark core wires this to actual benchmark execution; the
+// context cancels in-flight benchmark matrices when the pipeline is
+// aborted.
+type JobExecutor func(ctx context.Context, job *CIJob) (log string, err error)
 
 // Runner is a GitLab runner registered at an HPC site, with tags
 // selecting which jobs it accepts and a Jacamar executor.
@@ -189,6 +192,14 @@ func (gl *GitLab) Pipelines() []*Pipeline {
 // identity: the triggering user when they hold an account at the
 // runner's site, otherwise the approving admin (Section 3.3.2).
 func (gl *GitLab) RunPipeline(sha, triggeredBy, approvedBy string) (*Pipeline, error) {
+	return gl.RunPipelineContext(context.Background(), sha, triggeredBy, approvedBy)
+}
+
+// RunPipelineContext is RunPipeline with cancellation: the context is
+// checked before each job dispatch and passed to every runner, so a
+// cancelled pipeline stops scheduling work and in-flight jobs can
+// abort. Jobs not yet dispatched are marked skipped.
+func (gl *GitLab) RunPipelineContext(ctx context.Context, sha, triggeredBy, approvedBy string) (*Pipeline, error) {
 	content, ok := gl.Mirror.FileAt(sha, ".gitlab-ci.yml")
 	if !ok {
 		return nil, fmt.Errorf("ci: commit %s has no .gitlab-ci.yml", sha)
@@ -211,6 +222,11 @@ func (gl *GitLab) RunPipeline(sha, triggeredBy, approvedBy string) (*Pipeline, e
 			if job.Stage != stage {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				job.Status = JobSkipped
+				job.Log = "skipped: pipeline cancelled (" + err.Error() + ")"
+				continue
+			}
 			runner := pickRunner(runners, job)
 			if runner == nil {
 				job.Status = JobSkipped
@@ -223,7 +239,7 @@ func (gl *GitLab) RunPipeline(sha, triggeredBy, approvedBy string) (*Pipeline, e
 				Site: runner.Site, Job: job.Name, RunAs: job.RunAs, Triggered: triggeredBy,
 			})
 			gl.mu.Unlock()
-			log, err := runner.Exec(job)
+			log, err := runner.Exec(ctx, job)
 			job.Log = log
 			if err != nil {
 				job.Status = JobFailed
@@ -243,6 +259,9 @@ func (gl *GitLab) RunPipeline(sha, triggeredBy, approvedBy string) (*Pipeline, e
 			}
 			break
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return p, fmt.Errorf("ci: pipeline #%d cancelled: %w", p.ID, err)
 	}
 	return p, nil
 }
@@ -308,6 +327,12 @@ func NewHubcast(gh *GitHub, gl *GitLab, criteria SecurityCriteria) *Hubcast {
 // streamed back to the PR. It returns the pipeline (nil when
 // mirroring was refused, with the error explaining why).
 func (h *Hubcast) Sync(prID int) (*Pipeline, error) {
+	return h.SyncContext(context.Background(), prID)
+}
+
+// SyncContext is Sync with cancellation propagated into the pipeline
+// run and its benchmark jobs.
+func (h *Hubcast) SyncContext(ctx context.Context, prID int) (*Pipeline, error) {
 	pr, ok := h.GitHub.PR(prID)
 	if !ok {
 		return nil, fmt.Errorf("hubcast: no PR #%d", prID)
@@ -356,7 +381,7 @@ func (h *Hubcast) Sync(prID int) (*Pipeline, error) {
 	if approver == "" {
 		approver = pr.Author // trusted bypass: author vouches
 	}
-	pipeline, err := h.GitLab.RunPipeline(pr.HeadSHA, pr.Author, approver)
+	pipeline, err := h.GitLab.RunPipelineContext(ctx, pr.HeadSHA, pr.Author, approver)
 	if err != nil {
 		check.State = StateFailure
 		check.Description = err.Error()

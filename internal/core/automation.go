@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -71,9 +72,11 @@ func NewAutomation(bp *Benchpark, workDir string) (*Automation, error) {
 
 // jobExecutor interprets "benchpark <suite> <system> <workspace>"
 // script lines by actually running the session — the Benchpark
-// executable of Table 1 row 6.
+// executable of Table 1 row 6. Each session runs on the experiment
+// engine under the pipeline's context, so cancelling the pipeline
+// cancels its benchmark matrices.
 func (a *Automation) jobExecutor(workDir string) ci.JobExecutor {
-	return func(job *ci.CIJob) (string, error) {
+	return func(ctx context.Context, job *ci.CIJob) (string, error) {
 		var log strings.Builder
 		for _, line := range job.Script {
 			fields := strings.Fields(line)
@@ -90,7 +93,7 @@ func (a *Automation) jobExecutor(workDir string) ci.JobExecutor {
 			if err != nil {
 				return log.String(), err
 			}
-			rep, err := sess.RunAll()
+			rep, _, err := sess.Run(ctx, RunOptions{})
 			if err != nil {
 				return log.String(), err
 			}
@@ -110,6 +113,12 @@ func (a *Automation) jobExecutor(workDir string) ci.JobExecutor {
 // the shared metrics database; the caller can then run regression
 // detection over the series.
 func (a *Automation) RunNightly() (*ci.Pipeline, error) {
+	return a.RunNightlyContext(context.Background())
+}
+
+// RunNightlyContext is RunNightly with cancellation propagated
+// through the pipeline into the benchmark engine.
+func (a *Automation) RunNightlyContext(ctx context.Context) (*ci.Pipeline, error) {
 	head, ok := a.GitHub.Canonical.Head("main")
 	if !ok || head == "" {
 		return nil, fmt.Errorf("benchpark: canonical main has no commits")
@@ -121,7 +130,7 @@ func (a *Automation) RunNightly() (*ci.Pipeline, error) {
 	a.GitLab.Mirror.ImportCommit(commit, "main")
 	// Nightly runs are triggered by the bot and pre-trusted: they
 	// execute under the service owner's identity.
-	return a.GitLab.RunPipeline(head, "benchpark-bot", "olga")
+	return a.GitLab.RunPipelineContext(ctx, head, "benchpark-bot", "olga")
 }
 
 // ContributionResult summarizes one PR's trip through the Figure 6
@@ -136,6 +145,12 @@ type ContributionResult struct {
 // admin approve it, syncs through Hubcast (running the pipelines on
 // the site runners), and merges on success.
 func (a *Automation) SubmitContribution(author, title string, files map[string]string, approver string) (*ContributionResult, error) {
+	return a.SubmitContributionContext(context.Background(), author, title, files, approver)
+}
+
+// SubmitContributionContext is SubmitContribution with cancellation
+// propagated through Hubcast into the pipeline's benchmark runs.
+func (a *Automation) SubmitContributionContext(ctx context.Context, author, title string, files map[string]string, approver string) (*ContributionResult, error) {
 	fork := a.GitHub.Fork(author + "/benchpark")
 	if _, err := fork.Commit("contribution", author, title, files); err != nil {
 		return nil, err
@@ -148,7 +163,7 @@ func (a *Automation) SubmitContribution(author, title string, files map[string]s
 		return nil, err
 	}
 	before := a.Benchpark.Metrics.Len()
-	pipeline, err := a.Hubcast.Sync(pr.ID)
+	pipeline, err := a.Hubcast.SyncContext(ctx, pr.ID)
 	if err != nil {
 		return nil, err
 	}

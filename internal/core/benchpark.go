@@ -1,16 +1,20 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/adiak"
 	"repro/internal/bench"
 	"repro/internal/buildcache"
 	"repro/internal/concretizer"
+	"repro/internal/engine"
 	"repro/internal/env"
 	"repro/internal/hpcsim"
 	"repro/internal/install"
@@ -116,6 +120,12 @@ func (bp *Benchpark) Setup(suite, systemName, workspaceDir string) (*Session, er
 // named environment concretizes together and installs, keeping the
 // lockfile for provenance.
 func (s *Session) installSoftware(envName string, specs []string) error {
+	return s.installSoftwareContext(context.Background(), envName, specs)
+}
+
+// installSoftwareContext is installSoftware with cancellation
+// propagated through the install engine's worker pool.
+func (s *Session) installSoftwareContext(ctx context.Context, envName string, specs []string) error {
 	e := env.New(envName)
 	for _, str := range specs {
 		if err := e.Add(str); err != nil {
@@ -133,7 +143,7 @@ func (s *Session) installSoftware(envName string, specs []string) error {
 	if err := e.Concretize(c); err != nil {
 		return err
 	}
-	if _, err := e.Install(s.Installer); err != nil {
+	if _, err := e.InstallContext(ctx, s.Installer); err != nil {
 		return err
 	}
 	lf, err := e.Lock()
@@ -260,43 +270,30 @@ func expandedVars(e *ramble.Experiment) map[string]string {
 	return out
 }
 
+// RunOptions configures one Session.Run: worker-pool width and
+// overall deadline for the engine, and whether experiments go through
+// the per-experiment scheduler loop or one batched queue drain.
+type RunOptions struct {
+	// Jobs bounds the engine worker pool; <=0 means runtime.NumCPU().
+	Jobs int
+	// Timeout, when positive, caps the whole run.
+	Timeout time.Duration
+	// Batched submits every experiment's rendered batch script up
+	// front and drains the queue as one simulation (Figure 13
+	// semantics) instead of one submit+drain per experiment.
+	Batched bool
+}
+
 // RunAll executes the full Figure 1c workflow after Setup: workspace
 // setup (software install + experiment generation), ramble on, and
 // analyze, recording every result in the metrics database and writing
 // the analysis artifact to the workspace's logs/ directory.
+//
+// Experiments execute concurrently on the engine's worker pool; the
+// results are identical to a sequential run (see internal/engine).
 func (s *Session) RunAll() (*ramble.AnalysisReport, error) {
-	if err := s.Workspace.Setup(s.installSoftware); err != nil {
-		return nil, err
-	}
-	if err := s.Workspace.On(s.executor); err != nil {
-		return nil, err
-	}
-	rep, err := s.Workspace.Analyze()
-	if err != nil {
-		return nil, err
-	}
-	if err := s.writeResultsArtifact(rep); err != nil {
-		return nil, err
-	}
-	for _, e := range rep.Experiments {
-		if e.Status != ramble.Succeeded {
-			continue
-		}
-		s.Benchpark.Metrics.Add(metricsdb.Result{
-			Benchmark:  e.App.Name,
-			Workload:   e.Workload,
-			System:     s.System.Name,
-			Experiment: e.Name,
-			FOMs:       metricsdb.ParseFOMs(e.FOMs),
-			Meta: map[string]string{
-				"n_ranks":   fmt.Sprintf("%d", e.NRanks),
-				"n_nodes":   fmt.Sprintf("%d", e.NNodes),
-				"n_threads": fmt.Sprintf("%d", e.NThreads),
-			},
-			Manifest: s.manifest(e),
-		})
-	}
-	return rep, nil
+	rep, _, err := s.Run(context.Background(), RunOptions{})
+	return rep, err
 }
 
 // RunAllBatched is RunAll with real batch-queue semantics: every
@@ -306,78 +303,214 @@ func (s *Session) RunAll() (*ramble.AnalysisReport, error) {
 // as one simulation — experiments run concurrently when nodes allow —
 // and the analysis proceeds on the collected outputs.
 func (s *Session) RunAllBatched() (*ramble.AnalysisReport, error) {
-	if err := s.Workspace.Setup(s.installSoftware); err != nil {
-		return nil, err
+	rep, _, err := s.Run(context.Background(), RunOptions{Batched: true})
+	return rep, err
+}
+
+// Run drives the session through the execution engine: setup →
+// install → concurrent execute → ordered commit → analyze. It returns
+// the ramble analysis, the engine's report (always non-nil — on
+// cancellation or a stage failure it records how far the matrix got),
+// and the terminal error if the run did not complete. Individual
+// experiment failures do not fail the run; they appear as failed
+// experiments in the analysis and as typed errors in the engine
+// report.
+func (s *Session) Run(ctx context.Context, o RunOptions) (*ramble.AnalysisReport, *engine.Report, error) {
+	r := &sessionRunner{s: s, batched: o.Batched}
+	erep, err := engine.Run(ctx, r, engine.Options{Jobs: o.Jobs, Timeout: o.Timeout})
+	return r.analysis, erep, err
+}
+
+// sessionRunner adapts a Session to the engine's Runner interface.
+// Execute runs the benchmark kernels concurrently (they are pure
+// functions of their parameters — the simulated clock is per-run);
+// every shared side effect (scheduler submission, thicket, metrics
+// database, files) happens in the sequential Commit/Analyze stages,
+// in experiment index order, so a concurrent run is byte-identical to
+// a sequential one.
+type sessionRunner struct {
+	s       *Session
+	batched bool
+
+	exps     []*ramble.Experiment
+	outs     []*bench.Output  // per-experiment kernel output
+	errs     []error          // per-experiment kernel error
+	jobs     []*scheduler.Job // batched mode: submitted jobs
+	analysis *ramble.AnalysisReport
+}
+
+func (r *sessionRunner) Label() string {
+	return r.s.Suite + "@" + r.s.System.Name
+}
+
+func (r *sessionRunner) Setup(ctx context.Context) error {
+	// Generate experiments and materialize directories; software
+	// installation is the engine's own install stage.
+	if err := r.s.Workspace.Setup(nil); err != nil {
+		return err
 	}
-	type pending struct {
-		exp *ramble.Experiment
-		job *scheduler.Job
-		out *bench.Output
-	}
-	var queue []*pending
-	for _, e := range s.Workspace.Experiments {
-		b, err := bench.Get(e.App.Name)
-		if err != nil {
-			return nil, err
-		}
-		params := bench.Params{
-			System:       s.System,
-			Ranks:        e.NRanks,
-			RanksPerNode: e.ProcsPerNode,
-			Threads:      e.NThreads,
-			Variant:      rawVar(e, "variant"),
-			Vars:         expandedVars(e),
-		}
-		p := &pending{exp: e}
-		job, err := s.Scheduler.SubmitScript(e.Name, e.Script, func() (float64, error) {
-			out, rerr := b.Run(params)
-			if rerr != nil {
-				return 0, rerr
-			}
-			p.out = out
-			return out.Elapsed, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		p.job = job
-		queue = append(queue, p)
-	}
-	if err := s.Scheduler.Drain(); err != nil {
-		return nil, err
-	}
-	for _, p := range queue {
-		e := p.exp
-		if p.job.State != scheduler.Completed || p.out == nil {
-			e.Status = ramble.Failed
-			if p.job.Err != nil {
-				e.FailMsg = p.job.Err.Error()
-			} else {
-				e.FailMsg = "job " + p.job.State.String()
-			}
-			continue
-		}
-		e.Output = p.out.Text
-		e.Elapsed = p.out.Elapsed
-		e.Status = ramble.Succeeded
-		md := p.out.Metadata
-		md.Setf("experiment", "%s", e.Name)
-		md.Setf("nprocs", "%d", e.NRanks)
-		s.Thicket.Add(p.out.Profile, md)
-		if err := os.WriteFile(filepath.Join(e.Dir, e.Name+".out"), []byte(e.Output), 0o644); err != nil {
-			return nil, err
-		}
-	}
-	rep, err := s.Workspace.Analyze()
+	r.exps = r.s.Workspace.Experiments
+	r.outs = make([]*bench.Output, len(r.exps))
+	r.errs = make([]error, len(r.exps))
+	r.jobs = make([]*scheduler.Job, len(r.exps))
+	return nil
+}
+
+func (r *sessionRunner) Install(ctx context.Context) error {
+	envSpecs, err := r.s.Workspace.SoftwareEnvironments()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if err := s.writeResultsArtifact(rep); err != nil {
-		return nil, err
+	names := make([]string, 0, len(envSpecs))
+	for name := range envSpecs {
+		names = append(names, name)
 	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := r.s.installSoftwareContext(ctx, name, envSpecs[name]); err != nil {
+			return fmt.Errorf("ramble: installing environment %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (r *sessionRunner) Experiments() []string {
+	names := make([]string, len(r.exps))
+	for i, e := range r.exps {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Execute runs one experiment's kernel. It touches only this
+// experiment's slots — no scheduler, no files — so the engine may run
+// it concurrently with its siblings.
+func (r *sessionRunner) Execute(ctx context.Context, i int) error {
+	e := r.exps[i]
+	b, err := bench.Get(e.App.Name)
+	if err != nil {
+		r.errs[i] = err
+		return err
+	}
+	params := bench.Params{
+		System:       r.s.System,
+		Ranks:        e.NRanks,
+		RanksPerNode: e.ProcsPerNode,
+		Threads:      e.NThreads,
+		Variant:      rawVar(e, "variant"),
+		Vars:         expandedVars(e),
+	}
+	r.outs[i], r.errs[i] = b.Run(params)
+	return r.errs[i]
+}
+
+// Commit records one executed experiment, in index order. In serial
+// mode it submits and drains the experiment's batch job (steps 7-8);
+// in batched mode it only submits — the single queue drain happens in
+// Analyze, after every script is queued.
+func (r *sessionRunner) Commit(ctx context.Context, i int) error {
+	e := r.exps[i]
+	out, rerr := r.outs[i], r.errs[i]
+	payload := func() (float64, error) {
+		if rerr != nil {
+			return 0, rerr
+		}
+		return out.Elapsed, nil
+	}
+
+	if r.batched {
+		job, err := r.s.Scheduler.SubmitScript(e.Name, e.Script, payload)
+		if err != nil {
+			return err
+		}
+		r.jobs[i] = job
+		return nil
+	}
+
+	limitMin := 60.0
+	if t, err := e.Expander.Expand("{batch_time}"); err == nil {
+		fmt.Sscanf(t, "%f", &limitMin) //nolint:errcheck
+	}
+	job, err := r.s.Scheduler.Submit(e.Name, e.NNodes, limitMin*60, payload)
+	if err != nil {
+		return err
+	}
+	if err := r.s.Scheduler.DrainContext(ctx); err != nil {
+		return err
+	}
+	return r.recordJob(e, job, out)
+}
+
+// recordJob settles one experiment from its finished batch job:
+// status, output file, Caliper profile into the thicket.
+func (r *sessionRunner) recordJob(e *ramble.Experiment, job *scheduler.Job, out *bench.Output) error {
+	if job.State != scheduler.Completed || out == nil {
+		e.Status = ramble.Failed
+		if job.Err != nil {
+			e.FailMsg = job.Err.Error()
+		} else {
+			e.FailMsg = "job " + job.State.String()
+		}
+		return nil
+	}
+	e.Output = out.Text
+	e.Elapsed = out.Elapsed
+	e.Status = ramble.Succeeded
+	md := out.Metadata
+	md.Setf("experiment", "%s", e.Name)
+	md.Setf("nprocs", "%d", e.NRanks)
+	r.s.Thicket.Add(out.Profile, md)
+	if cali, err := out.Profile.JSON(); err == nil {
+		_ = os.WriteFile(filepath.Join(e.Dir, e.Name+".cali"), []byte(cali), 0o644)
+	}
+	return os.WriteFile(filepath.Join(e.Dir, e.Name+".out"), []byte(e.Output), 0o644)
+}
+
+func (r *sessionRunner) Analyze(ctx context.Context) error {
+	if r.batched {
+		// One drain for the whole queue: jobs overlap when nodes allow.
+		if err := r.s.Scheduler.DrainContext(ctx); err != nil {
+			return err
+		}
+		for i, e := range r.exps {
+			if r.jobs[i] == nil {
+				continue // commit never ran (cancelled before queueing)
+			}
+			if err := r.recordJob(e, r.jobs[i], r.outs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	rep, err := r.s.Workspace.Analyze()
+	if err != nil {
+		return err
+	}
+	if err := r.s.writeResultsArtifact(rep); err != nil {
+		return err
+	}
+	r.s.recordMetrics(rep, !r.batched)
+	r.analysis = rep
+	return nil
+}
+
+// recordMetrics streams succeeded experiments into the shared metrics
+// database. The batched path historically omits the n_threads
+// dimension (batch scripts do not pin threads); includeThreads keeps
+// that distinction.
+func (s *Session) recordMetrics(rep *ramble.AnalysisReport, includeThreads bool) {
 	for _, e := range rep.Experiments {
 		if e.Status != ramble.Succeeded {
 			continue
+		}
+		meta := map[string]string{
+			"n_ranks": fmt.Sprintf("%d", e.NRanks),
+			"n_nodes": fmt.Sprintf("%d", e.NNodes),
+		}
+		if includeThreads {
+			meta["n_threads"] = fmt.Sprintf("%d", e.NThreads)
 		}
 		s.Benchpark.Metrics.Add(metricsdb.Result{
 			Benchmark:  e.App.Name,
@@ -385,14 +518,10 @@ func (s *Session) RunAllBatched() (*ramble.AnalysisReport, error) {
 			System:     s.System.Name,
 			Experiment: e.Name,
 			FOMs:       metricsdb.ParseFOMs(e.FOMs),
-			Meta: map[string]string{
-				"n_ranks": fmt.Sprintf("%d", e.NRanks),
-				"n_nodes": fmt.Sprintf("%d", e.NNodes),
-			},
-			Manifest: s.manifest(e),
+			Meta:       meta,
+			Manifest:   s.manifest(e),
 		})
 	}
-	return rep, nil
 }
 
 // writeResultsArtifact stores the analysis as logs/results.json —

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/extrap"
 	"repro/internal/hpcsim"
 	"repro/internal/metricsdb"
@@ -40,6 +42,15 @@ type StudyResult struct {
 
 // Run executes the study and fits the Extra-P model.
 func (st *ScalingStudy) Run(bp *Benchpark) (*StudyResult, error) {
+	return st.RunContext(context.Background(), bp, 0)
+}
+
+// RunContext executes the study's scale×rep points concurrently on a
+// bounded worker pool (jobs <= 0 means NumCPU) and fits the Extra-P
+// model. The kernels run in parallel; measurements, thicket profiles
+// and metrics records are committed sequentially in sweep order, so
+// the result is identical to the sequential study.
+func (st *ScalingStudy) RunContext(ctx context.Context, bp *Benchpark, jobs int) (*StudyResult, error) {
 	if len(st.Scales) < 3 {
 		return nil, fmt.Errorf("benchpark: scaling study needs >=3 scales")
 	}
@@ -50,54 +61,70 @@ func (st *ScalingStudy) Run(bp *Benchpark) (*StudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	th := thicket.New()
-	var measurements []extrap.Measurement
+	app, err := ramble.GetApplication(st.Benchmark)
+	if err != nil {
+		return nil, err
+	}
 	rpn := st.System.Node.Cores()
 	for _, p := range st.Scales {
 		if p < rpn {
 			rpn = p
 		}
 	}
+
+	// The sweep's point list, in the order results are committed.
+	type point struct{ p, rep int }
+	var points []point
 	for _, p := range st.Scales {
 		for rep := 0; rep < st.Reps; rep++ {
-			vars := map[string]string{}
-			for k, v := range st.Vars {
+			points = append(points, point{p, rep})
+		}
+	}
+
+	// Concurrent measurement: each kernel run is independent.
+	outs, errs := engine.Map(ctx, jobs, len(points), func(ctx context.Context, i int) (*bench.Output, error) {
+		p := points[i].p
+		vars := map[string]string{}
+		for k, v := range st.Vars {
+			vars[k] = v
+		}
+		if st.VarsByScale != nil {
+			for k, v := range st.VarsByScale(p) {
 				vars[k] = v
 			}
-			if st.VarsByScale != nil {
-				for k, v := range st.VarsByScale(p) {
-					vars[k] = v
-				}
-			}
-			vars["workload"] = st.Workload
-			out, err := b.Run(bench.Params{
-				System: st.System, Ranks: p, RanksPerNode: rpn,
-				Vars: vars,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("benchpark: scale %d: %w", p, err)
-			}
-			app, err := ramble.GetApplication(st.Benchmark)
-			if err != nil {
-				return nil, err
-			}
-			foms := app.ExtractFOMs(out.Text)
-			val, ok := metricsdb.ParseFOMs(foms)[st.FOM]
-			if !ok {
-				return nil, fmt.Errorf("benchpark: scale %d: FOM %q not in output:\n%s", p, st.FOM, out.Text)
-			}
-			measurements = append(measurements, extrap.Measurement{P: float64(p), Value: val})
-			out.Metadata.Setf("nprocs", "%d", p)
-			th.Add(out.Profile, out.Metadata)
-			bp.Metrics.Add(metricsdb.Result{
-				Benchmark: st.Benchmark, Workload: st.Workload,
-				System:     st.System.Name,
-				Experiment: fmt.Sprintf("%s_%d_rep%d", st.Workload, p, rep),
-				FOMs:       metricsdb.ParseFOMs(foms),
-				Meta:       map[string]string{"nprocs": fmt.Sprintf("%d", p)},
-				Manifest:   fmt.Sprintf("system: %s\nscaling: %s/%s p=%d", st.System.Name, st.Benchmark, st.Workload, p),
-			})
 		}
+		vars["workload"] = st.Workload
+		return b.Run(bench.Params{
+			System: st.System, Ranks: p, RanksPerNode: rpn,
+			Vars: vars,
+		})
+	})
+
+	// Sequential commit in sweep order keeps the thicket and metrics
+	// database streams deterministic.
+	th := thicket.New()
+	var measurements []extrap.Measurement
+	for i, pt := range points {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("benchpark: scale %d: %w", pt.p, errs[i])
+		}
+		out := outs[i]
+		foms := app.ExtractFOMs(out.Text)
+		val, ok := metricsdb.ParseFOMs(foms)[st.FOM]
+		if !ok {
+			return nil, fmt.Errorf("benchpark: scale %d: FOM %q not in output:\n%s", pt.p, st.FOM, out.Text)
+		}
+		measurements = append(measurements, extrap.Measurement{P: float64(pt.p), Value: val})
+		out.Metadata.Setf("nprocs", "%d", pt.p)
+		th.Add(out.Profile, out.Metadata)
+		bp.Metrics.Add(metricsdb.Result{
+			Benchmark: st.Benchmark, Workload: st.Workload,
+			System:     st.System.Name,
+			Experiment: fmt.Sprintf("%s_%d_rep%d", st.Workload, pt.p, pt.rep),
+			FOMs:       metricsdb.ParseFOMs(foms),
+			Meta:       map[string]string{"nprocs": fmt.Sprintf("%d", pt.p)},
+			Manifest:   fmt.Sprintf("system: %s\nscaling: %s/%s p=%d", st.System.Name, st.Benchmark, st.Workload, pt.p),
+		})
 	}
 	model, err := extrap.Fit(measurements)
 	if err != nil {

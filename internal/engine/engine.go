@@ -1,0 +1,310 @@
+// Package engine is the concurrent, cancellable experiment-execution
+// engine behind the Benchpark orchestration path. A continuous
+// benchmarking deployment runs benchmark × system × scale matrices
+// (Figure 1c, Figure 10) repeatedly and unattended; the engine gives
+// that matrix the properties a production orchestrator needs:
+//
+//   - Staged execution: a Runner exposes the four lifecycle stages
+//     (setup → install → execute → analyze). Setup, install and
+//     analyze run once per matrix; execute runs once per experiment.
+//   - Bounded concurrency: independent experiments execute on a
+//     worker pool of Options.Jobs goroutines.
+//   - Deterministic results: concurrent completions are merged back
+//     in experiment index order (a sorted merge), and all shared
+//     side effects happen in the sequential Commit stage, so a run
+//     with Jobs=N is byte-identical to Jobs=1.
+//   - Cancellation: a context cancels between stages, between
+//     experiment dispatches, and inside cooperating stage code.
+//   - Partial failure: one failed experiment no longer aborts the
+//     matrix; failures surface as typed *StageError values in the
+//     Report.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Stage identifies one phase of the experiment lifecycle.
+type Stage int
+
+const (
+	// StageSetup generates the workspace and experiment matrix.
+	StageSetup Stage = iota
+	// StageInstall resolves and installs the software environments.
+	StageInstall
+	// StageExecute runs one experiment's payload (concurrent).
+	StageExecute
+	// StageCommit records one experiment's results (sequential).
+	StageCommit
+	// StageAnalyze extracts figures of merit over the whole matrix.
+	StageAnalyze
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageSetup:
+		return "setup"
+	case StageInstall:
+		return "install"
+	case StageExecute:
+		return "execute"
+	case StageCommit:
+		return "commit"
+	case StageAnalyze:
+		return "analyze"
+	}
+	return "unknown"
+}
+
+// StageError is the typed error the engine wraps every failure in:
+// which stage failed, for which experiment (empty for matrix-level
+// stages), on which system/matrix.
+type StageError struct {
+	Stage      Stage
+	Experiment string // empty for setup/install/analyze failures
+	System     string // the Runner's label (suite@system)
+	Err        error
+}
+
+func (e *StageError) Error() string {
+	if e.Experiment == "" {
+		return fmt.Sprintf("engine: %s stage failed (%s): %v", e.Stage, e.System, e.Err)
+	}
+	return fmt.Sprintf("engine: %s stage failed for experiment %s (%s): %v",
+		e.Stage, e.Experiment, e.System, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Runner is the contract a matrix driver implements so the engine can
+// run it. Execute is called concurrently from the worker pool and
+// must only touch per-experiment state; every shared side effect
+// (schedulers, metric stores, profile ensembles, files) belongs in
+// Commit, which the engine calls sequentially in experiment index
+// order — regardless of completion order — so results are
+// deterministic. Commit is invoked for every experiment whose Execute
+// ran, including ones that returned an error, letting the runner
+// record the partial failure.
+type Runner interface {
+	// Label names the matrix for error reporting (e.g. "saxpy/openmp@cts1").
+	Label() string
+	Setup(ctx context.Context) error
+	Install(ctx context.Context) error
+	// Experiments returns the experiment names; the slice defines the
+	// matrix order used for dispatch and for the Commit merge.
+	Experiments() []string
+	Execute(ctx context.Context, i int) error
+	Commit(ctx context.Context, i int) error
+	Analyze(ctx context.Context) error
+}
+
+// Options configures one engine run.
+type Options struct {
+	// Jobs bounds the worker pool; <=0 means runtime.NumCPU().
+	Jobs int
+	// Timeout, when positive, caps the whole run.
+	Timeout time.Duration
+}
+
+// Report is the engine's account of one matrix run. It is always
+// returned, even on cancellation or a fatal stage error, so callers
+// see exactly how far the matrix got.
+type Report struct {
+	Label    string
+	Jobs     int // resolved worker-pool size
+	Total    int // experiments in the matrix
+	Executed int // experiments whose Execute stage ran
+	Failed   int // executed experiments whose Execute returned an error
+	// Cancelled is set when the context expired before the matrix
+	// completed; unexecuted experiments carry a StageError wrapping
+	// the context's error.
+	Cancelled bool
+	// Errors holds one typed error per failed or skipped experiment,
+	// in experiment index order.
+	Errors []*StageError
+	// Err is the terminal error for fatal failures (setup, install,
+	// commit, analyze, or cancellation); nil when the run finished,
+	// even with partial experiment failures.
+	Err *StageError
+}
+
+// Succeeded reports the number of cleanly executed experiments.
+func (r *Report) Succeeded() int { return r.Executed - r.Failed }
+
+// resolveJobs applies the Options.Jobs default and cap.
+func resolveJobs(jobs, n int) int {
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	if n > 0 && jobs > n {
+		jobs = n
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}
+
+// Run drives a Runner through the full lifecycle. It returns the
+// Report and, for fatal failures (setup/install/commit/analyze errors
+// or cancellation), the terminal error; per-experiment execute
+// failures are recorded in the Report without failing the run.
+func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	rep := &Report{Label: r.Label()}
+
+	fatal := func(st Stage, err error) (*Report, error) {
+		rep.Err = &StageError{Stage: st, System: rep.Label, Err: err}
+		return rep, rep.Err
+	}
+
+	// Matrix-level front stages.
+	for _, st := range []struct {
+		stage Stage
+		fn    func(context.Context) error
+	}{
+		{StageSetup, r.Setup},
+		{StageInstall, r.Install},
+	} {
+		if err := ctx.Err(); err != nil {
+			rep.Cancelled = true
+			return fatal(st.stage, err)
+		}
+		if err := st.fn(ctx); err != nil {
+			return fatal(st.stage, err)
+		}
+	}
+
+	names := r.Experiments()
+	rep.Total = len(names)
+	rep.Jobs = resolveJobs(opts.Jobs, len(names))
+
+	// Execute stage: bounded worker pool over the matrix.
+	executed := make([]bool, len(names))
+	_, errs := Map(ctx, rep.Jobs, len(names), func(ctx context.Context, i int) (struct{}, error) {
+		executed[i] = true
+		return struct{}{}, r.Execute(ctx, i)
+	})
+
+	// Sorted merge: commit results in experiment index order, however
+	// the concurrent executions interleaved. Commits still run for
+	// already-executed experiments after a cancellation — under a
+	// detached context — so the partial report reflects real state.
+	commitCtx := context.WithoutCancel(ctx)
+	for i, name := range names {
+		if !executed[i] {
+			cause := ctx.Err()
+			if cause == nil {
+				cause = context.Canceled
+			}
+			rep.Cancelled = true
+			rep.Errors = append(rep.Errors, &StageError{
+				Stage: StageExecute, Experiment: name, System: rep.Label, Err: cause,
+			})
+			continue
+		}
+		rep.Executed++
+		if errs[i] != nil {
+			rep.Failed++
+			rep.Errors = append(rep.Errors, &StageError{
+				Stage: StageExecute, Experiment: name, System: rep.Label, Err: errs[i],
+			})
+		}
+		if err := r.Commit(commitCtx, i); err != nil {
+			rep.Err = &StageError{Stage: StageCommit, Experiment: name, System: rep.Label, Err: err}
+			return rep, rep.Err
+		}
+	}
+	if rep.Cancelled {
+		cause := ctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		return fatal(StageExecute, cause)
+	}
+
+	if err := ctx.Err(); err != nil {
+		rep.Cancelled = true
+		return fatal(StageAnalyze, err)
+	}
+	if err := r.Analyze(ctx); err != nil {
+		return fatal(StageAnalyze, err)
+	}
+	return rep, nil
+}
+
+// Map runs fn over the indices [0, n) on a bounded worker pool of
+// `jobs` goroutines and returns results and errors in index order —
+// the deterministic sorted merge of the concurrent completions.
+// When the context is cancelled, dispatch stops and every unexecuted
+// index reports the context's error; executions already in flight
+// finish. Map never fails as a whole: callers inspect errs.
+func Map[T any](ctx context.Context, jobs, n int, fn func(ctx context.Context, i int) (T, error)) (vals []T, errs []error) {
+	vals = make([]T, n)
+	errs = make([]error, n)
+	if n == 0 {
+		return vals, errs
+	}
+	jobs = resolveJobs(jobs, n)
+
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	done := make([]bool, n)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain without executing
+				}
+				vals[i], errs[i] = fn(ctx, i)
+				done[i] = true
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if !done[i] && errs[i] == nil {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+			} else {
+				errs[i] = context.Canceled
+			}
+		}
+	}
+	return vals, errs
+}
+
+// SeededRNG returns a deterministic per-experiment random source
+// seeded from the experiment name. Runners that want randomized
+// payloads (perturbation, sampling) must draw from a per-experiment
+// source like this one rather than a shared generator, so figures of
+// merit stay byte-identical whatever the worker-pool interleaving.
+func SeededRNG(name string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}

@@ -15,6 +15,7 @@
 package env
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -101,12 +102,17 @@ func (e *Environment) IsConcretized() bool { return len(e.Roots) == len(e.Specs)
 
 // Install installs every concretized root (`spack install`).
 func (e *Environment) Install(inst *install.Installer) (*install.Report, error) {
+	return e.InstallContext(context.Background(), inst)
+}
+
+// InstallContext is Install with cancellation between roots.
+func (e *Environment) InstallContext(ctx context.Context, inst *install.Installer) (*install.Report, error) {
 	if !e.IsConcretized() {
 		return nil, fmt.Errorf("env: %q is not concretized", e.Name)
 	}
 	total := &install.Report{}
 	for _, root := range e.Roots {
-		rep, err := inst.Install(root)
+		rep, err := inst.InstallContext(ctx, root)
 		if err != nil {
 			return nil, err
 		}

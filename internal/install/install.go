@@ -13,6 +13,7 @@
 package install
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -232,6 +233,17 @@ func (inst *Installer) BuildSeconds(node *spec.Spec) (float64, error) {
 // Install installs the DAG rooted at root. The root is recorded as
 // explicitly installed. It is an error if root is not concrete.
 func (inst *Installer) Install(root *spec.Spec) (*Report, error) {
+	return inst.InstallContext(context.Background(), root)
+}
+
+// InstallContext is Install with cancellation: the context is checked
+// before scheduling and between node executions, so a cancelled
+// experiment engine does not keep building a deep DAG. Already
+// completed node installs stay in the database.
+func (inst *Installer) InstallContext(ctx context.Context, root *spec.Spec) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !root.IsConcrete() {
 		return nil, fmt.Errorf("install: spec %q is not concrete", root.ShortString())
 	}
@@ -302,7 +314,7 @@ func (inst *Installer) Install(root *spec.Spec) (*Report, error) {
 
 	// Real parallel execution of the install actions (DB/cache side
 	// effects) with a bounded worker pool.
-	if err := inst.executeParallel(order, states, workers); err != nil {
+	if err := inst.executeParallel(ctx, order, states, workers); err != nil {
 		return nil, err
 	}
 
@@ -408,8 +420,11 @@ func listSchedule(order []string, states map[string]*nodeState, workers int) (fl
 }
 
 // executeParallel runs the side effects (database inserts, cache
-// pushes) with a real goroutine pool, honoring DAG order.
-func (inst *Installer) executeParallel(order []string, states map[string]*nodeState, workers int) error {
+// pushes) with a real goroutine pool, honoring DAG order. On
+// cancellation the remaining nodes are skipped (the ready/done
+// bookkeeping still runs so the pool winds down cleanly) and the
+// context's error is returned.
+func (inst *Installer) executeParallel(ctx context.Context, order []string, states map[string]*nodeState, workers int) error {
 	remaining := map[string]int{}
 	dependents := map[string][]string{}
 	for _, h := range order {
@@ -435,9 +450,11 @@ func (inst *Installer) executeParallel(order []string, states map[string]*nodeSt
 		go func() {
 			defer wg.Done()
 			for h := range readyCh {
-				st := states[h]
-				if err := inst.installOne(h, st.node, st.action, st.prefix, st.explicit); err != nil {
-					errCh <- err
+				if ctx.Err() == nil {
+					st := states[h]
+					if err := inst.installOne(h, st.node, st.action, st.prefix, st.explicit); err != nil {
+						errCh <- err
+					}
 				}
 				doneCh <- h
 			}
@@ -470,6 +487,9 @@ func (inst *Installer) executeParallel(order []string, states map[string]*nodeSt
 			firstErr = err
 		}
 	default:
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
 	}
 	return firstErr
 }

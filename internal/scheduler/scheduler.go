@@ -7,6 +7,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -287,7 +288,17 @@ func (s *Scheduler) Step() bool {
 // Drain runs the simulation until all jobs have completed. It returns
 // an error if pending jobs remain that can never start.
 func (s *Scheduler) Drain() error {
+	return s.DrainContext(context.Background())
+}
+
+// DrainContext is Drain with cancellation: the simulation checks the
+// context between completion events, so an engine timeout can stop a
+// long queue drain. Jobs already completed stay completed.
+func (s *Scheduler) DrainContext(ctx context.Context) error {
 	for s.Step() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	if len(s.pending) > 0 {
 		return fmt.Errorf("scheduler: %d jobs stuck pending (first: %s needing %d nodes)",

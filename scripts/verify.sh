@@ -1,0 +1,25 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate.
+#
+# Runs the tier-1 check (build + vet + full test suite) and then the
+# race-detector pass over the packages that do real concurrency: the
+# execution engine, the session/scaling orchestration built on it, the
+# parallel installer, and the concurrency-safe build cache.
+#
+#   ./scripts/verify.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache
+
+echo "==> verify OK"
