@@ -1,0 +1,126 @@
+// Command benchlint runs the project's invariant static-analysis
+// suite (internal/analysis) over the module: the machine-checked
+// rules the continuous-benchmarking engine's correctness rests on.
+//
+// Usage:
+//
+//	benchlint [flags] [packages]
+//
+//	-C dir      run in dir (the module to lint; default ".")
+//	-json       emit findings as JSON (suppressed findings included)
+//	-run list   comma-separated analyzer subset (default: all)
+//	-list       print the analyzers and exit
+//	-v          also print suppressed findings in text mode
+//
+// Packages default to ./...; any go list pattern works. benchlint
+// exits 0 when the module is clean, 1 on unsuppressed findings, and
+// 2 on usage or load errors. Suppress a single finding with
+// `//benchlint:ignore <analyzer> <reason>` on (or directly above) the
+// offending line; mark a documented compatibility wrapper that may
+// mint context.Background() with `//benchlint:compat` in its doc
+// comment.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir      = fs.String("C", ".", "module directory to lint")
+		jsonOut  = fs.Bool("json", false, "emit findings as JSON")
+		runList  = fs.String("run", "", "comma-separated analyzers to run (default all)")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		verbose  = fs.Bool("v", false, "print suppressed findings too")
+		jobsFlag = fs.Int("jobs", 0, "parse/type-check parallelism (default GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.Suite()
+	if *runList != "" {
+		selected, ok := analysis.ByName(strings.Split(*runList, ","))
+		if !ok {
+			fmt.Fprintf(stderr, "benchlint: unknown analyzer in -run=%s (have:", *runList)
+			for _, a := range analysis.Suite() {
+				fmt.Fprintf(stderr, " %s", a.Name)
+			}
+			fmt.Fprintln(stderr, ")")
+			return 2
+		}
+		analyzers = selected
+	}
+	if *list {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if len(a.Scope) > 0 {
+				scope = strings.Join(a.Scope, ", ")
+			}
+			fmt.Fprintf(stdout, "%-12s %s [%s]\n", a.Name, a.Doc, scope)
+		}
+		return 0
+	}
+
+	loader := analysis.Loader{Jobs: *jobsFlag}
+	mod, pkgs, err := loader.LoadModule(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchlint: %v\n", err)
+		return 2
+	}
+	findings := analysis.Run(pkgs, analyzers, mod.Path, mod.Root)
+
+	unsuppressed := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			unsuppressed++
+		}
+	}
+
+	if *jsonOut {
+		out := struct {
+			Module   string             `json:"module"`
+			Packages int                `json:"packages"`
+			Findings []analysis.Finding `json:"findings"`
+		}{Module: mod.Path, Packages: len(pkgs), Findings: findings}
+		if out.Findings == nil {
+			out.Findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "benchlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if f.Suppressed {
+				if *verbose {
+					fmt.Fprintf(stdout, "%s (suppressed: %s)\n", f, f.Reason)
+				}
+				continue
+			}
+			fmt.Fprintln(stdout, f.String())
+		}
+		if unsuppressed > 0 {
+			fmt.Fprintf(stderr, "benchlint: %d finding(s) in %d package(s)\n", unsuppressed, len(pkgs))
+		}
+	}
+	if unsuppressed > 0 {
+		return 1
+	}
+	return 0
+}

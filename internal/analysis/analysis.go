@@ -1,0 +1,213 @@
+// Package analysis is benchlint's analyzer framework: a stdlib-only
+// (go/ast + go/parser + go/types) harness for the project-invariant
+// static checks that keep the continuous-benchmarking engine honest.
+//
+// The paper's premise — and Omnibenchmark's and exaCB's before it —
+// is that collaborative benchmarking only stays reproducible when the
+// contribution rules are enforced by infrastructure rather than
+// convention. PR 1 introduced an execution engine whose correctness
+// rests on exactly such rules: contexts flow through every execution
+// path, the commit path is deterministic, stage failures are typed,
+// and buildcache locking is disciplined. This package makes those
+// rules machine-checked; cmd/benchlint runs them in the verify gate.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// in miniature (Analyzer / Pass / Reportf) but depends only on the
+// standard library, because the module carries no external
+// dependencies.
+//
+// Two directives tune the checks in source:
+//
+//	//benchlint:ignore <analyzer> <reason>
+//	    placed on the offending line, or alone on the line above it,
+//	    suppresses that analyzer's finding there. The reason is
+//	    mandatory and findings stay visible in -json output, marked
+//	    suppressed.
+//	//benchlint:compat
+//	    placed in a function's doc comment, marks a documented
+//	    compatibility wrapper (e.g. core.Session.InstallSoftware)
+//	    that is allowed to mint a fresh context.Background() for its
+//	    context-taking implementation.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and directives.
+	Name string
+	// Doc is the one-line description `benchlint -list` prints.
+	Doc string
+	// Scope lists the module-relative package paths the analyzer is
+	// confined to (e.g. "internal/engine"). Empty means every package.
+	Scope []string
+	// Run inspects one package and reports findings on the pass.
+	Run func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer covers the given package of
+// the given module.
+func (a *Analyzer) AppliesTo(modPath, pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == modPath+"/"+s || pkgPath == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass couples one analyzer with one loaded, type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	findings []Finding
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type information.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsCompat reports whether the function declaration carries a
+// //benchlint:compat marker in its doc comment (or between the doc
+// comment and the opening brace).
+func (p *Pass) IsCompat(decl *ast.FuncDecl) bool {
+	fset := p.Pkg.Fset
+	start := fset.Position(decl.Pos())
+	if decl.Doc != nil {
+		start = fset.Position(decl.Doc.Pos())
+	}
+	end := fset.Position(decl.Pos())
+	for _, d := range p.Pkg.Directives {
+		if d.Kind != DirectiveCompat || d.File != start.Filename {
+			continue
+		}
+		if d.Line >= start.Line && d.Line <= end.Line {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	// File is the source file, relative to the module root once the
+	// runner has normalized it.
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	// Suppressed marks findings silenced by a //benchlint:ignore
+	// directive; Reason carries the directive's justification.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// String renders the canonical file:line:col: analyzer: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer whose scope matches to every package,
+// applies the suppression directives, normalizes file paths to be
+// relative to modRoot, and returns the findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, modPath, modRoot string) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		// A mistyped directive must not silently disable a check.
+		for _, d := range pkg.Directives {
+			if d.Malformed != "" {
+				all = append(all, Finding{
+					Analyzer: "directive",
+					File:     relPath(modRoot, d.File),
+					Line:     d.Line,
+					Col:      1,
+					Message:  d.Malformed,
+				})
+			}
+		}
+		for _, a := range analyzers {
+			if !a.AppliesTo(modPath, pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, f := range pass.findings {
+				if d, ok := suppressedBy(pkg, f); ok {
+					f.Suppressed = true
+					f.Reason = d.Reason
+				}
+				f.File = relPath(modRoot, f.File)
+				all = append(all, f)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}
+
+// suppressedBy finds an ignore directive covering the finding: same
+// analyzer, same file, on the finding's line or alone on the line
+// directly above it.
+func suppressedBy(pkg *Package, f Finding) (Directive, bool) {
+	for _, d := range pkg.Directives {
+		if d.Kind != DirectiveIgnore || d.Analyzer != f.Analyzer || d.File != f.File {
+			continue
+		}
+		if d.Line == f.Line || d.Line == f.Line-1 {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+func relPath(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}

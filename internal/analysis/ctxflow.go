@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the engine's cancellation invariant: execution
+// paths (experiment runs, software installs, pipeline syncs) must
+// receive their caller's context.Context as the first parameter and
+// pass it down. Minting a fresh context with context.Background() or
+// context.TODO() severs the cancellation chain, so both are allowed
+// only in package main, in tests (benchlint does not load test
+// files), and in documented compatibility wrappers whose doc comment
+// carries //benchlint:compat.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts must flow from callers; Background/TODO only in main, tests, and //benchlint:compat wrappers",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				// Package-level initializers can also mint contexts.
+				if pass.Pkg.Name != "main" {
+					reportFreshContexts(pass, decl)
+				}
+				continue
+			}
+			checkCtxParamFirst(pass, fn)
+			if pass.Pkg.Name == "main" || pass.IsCompat(fn) {
+				continue
+			}
+			if fn.Body != nil {
+				reportFreshContexts(pass, fn.Body)
+			}
+		}
+	}
+	_ = info
+}
+
+// reportFreshContexts flags every context.Background()/context.TODO()
+// call under n.
+func reportFreshContexts(pass *Pass, n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := contextPackageFunc(pass, call)
+		if !ok || (name != "Background" && name != "TODO") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() severs the cancellation chain; take a context.Context from the caller (or mark a documented wrapper //benchlint:compat)",
+			name)
+		return true
+	})
+}
+
+// contextPackageFunc resolves a call to a function of package context.
+func contextPackageFunc(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo().Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// checkCtxParamFirst reports functions that take a context.Context
+// anywhere but first, which hides the cancellation dependency from
+// callers.
+func checkCtxParamFirst(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range fn.Type.Params.List {
+		t := pass.TypesInfo().TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(t) && pos > 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter of %s", fn.Name.Name)
+			return
+		}
+		pos += n
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

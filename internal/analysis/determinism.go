@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the byte-identical-results guarantee of the
+// deterministic packages (the engine's commit path, the concretizer,
+// the spec model, and the yamlite renderer): no wall-clock reads, no
+// draws from the process-global math/rand generator, and no map
+// iteration feeding an output or an accumulated slice that is never
+// sorted. A run with Jobs=N must stay byte-identical to Jobs=1, and a
+// re-run must stay byte-identical to the first run; each of these
+// constructs breaks one of those properties.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no time.Now, unseeded math/rand, or order-sensitive map iteration in the deterministic packages",
+	Scope: []string{
+		"internal/engine",
+		"internal/concretizer",
+		"internal/spec",
+		"internal/yamlite",
+	},
+	Run: runDeterminism,
+}
+
+// seededConstructors are the math/rand functions that build explicit,
+// seedable sources (the engine's SeededRNG pattern) rather than
+// drawing from the shared global generator.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo().Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; deterministic packages must not let real time into committed results", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Package-scope draws use the shared global generator;
+				// methods on an explicit *rand.Rand are fine.
+				if fn.Type().(*types.Signature).Recv() == nil && !seededConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"%s.%s draws from the unseeded global generator; use a per-experiment seeded source (engine.SeededRNG)", fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkMapOrder(pass, fn.Body)
+			}
+		}
+	}
+}
+
+// checkMapOrder flags map-range loops whose iteration order leaks
+// into output: a direct write/print/send inside the body, or an
+// append to an outer slice that is never sorted after the loop.
+func checkMapOrder(pass *Pass, body *ast.BlockStmt) {
+	// Sort calls anywhere in the function clear appends they cover.
+	type sortCall struct {
+		pos token.Pos
+		arg types.Object
+	}
+	var sorts []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		selFun, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn, ok := pass.TypesInfo().Uses[selFun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			sorts = append(sorts, sortCall{pos: call.Pos(), arg: pass.TypesInfo().Uses[id]})
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo().TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(rng.For,
+					"map iteration order reaches a channel send; iterate sorted keys instead")
+				return false
+			case *ast.CallExpr:
+				if sink := outputSink(pass, n); sink != "" {
+					pass.Reportf(rng.For,
+						"map iteration order reaches %s; iterate sorted keys instead", sink)
+					return false
+				}
+				if target, ok := appendTarget(pass, n); ok {
+					sorted := false
+					for _, s := range sorts {
+						if s.arg != nil && s.arg == target && s.pos > rng.End() {
+							sorted = true
+							break
+						}
+					}
+					if !sorted {
+						pass.Reportf(rng.For,
+							"map iteration appends to %s which is never sorted afterwards; sort it (or collect sorted keys first)", target.Name())
+						return false
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// outputSink reports whether the call writes formatted output (fmt
+// printing or an io/strings/bytes Write* method), returning a label
+// for the diagnostic.
+func outputSink(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if fn, ok := pass.TypesInfo().Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+			return "fmt." + fn.Name()
+		}
+	}
+	if pass.TypesInfo().Selections[sel] != nil {
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return "a " + sel.Sel.Name + " call"
+		}
+	}
+	return ""
+}
+
+// appendTarget matches `x = append(x, ...)` and returns x's object.
+func appendTarget(pass *Pass, call *ast.CallExpr) (types.Object, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil, false
+	}
+	if b, ok := pass.TypesInfo().Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo().Uses[arg]
+	if obj == nil {
+		return nil, false
+	}
+	return obj, true
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive kinds.
+const (
+	// DirectiveIgnore is //benchlint:ignore <analyzer> <reason>.
+	DirectiveIgnore = "ignore"
+	// DirectiveCompat is //benchlint:compat.
+	DirectiveCompat = "compat"
+)
+
+// Directive is one parsed //benchlint:... comment.
+type Directive struct {
+	Kind     string
+	Analyzer string // ignore: which analyzer is silenced
+	Reason   string // ignore: mandatory justification
+	File     string
+	Line     int
+	// Malformed carries a diagnostic for directives that do not parse
+	// (e.g. an ignore without a reason); the runner surfaces these as
+	// findings so a typo cannot silently disable a check.
+	Malformed string
+}
+
+// collectDirectives extracts every benchlint directive from a file's
+// comments.
+func collectDirectives(fset *token.FileSet, file *ast.File) []Directive {
+	var out []Directive
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			text, ok := strings.CutPrefix(c.Text, "//benchlint:")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := Directive{File: pos.Filename, Line: pos.Line}
+			fields := strings.Fields(text)
+			switch {
+			case len(fields) == 0:
+				d.Malformed = "empty //benchlint: directive"
+			case fields[0] == DirectiveCompat:
+				d.Kind = DirectiveCompat
+				if len(fields) > 1 {
+					// Trailing words are fine: treated as commentary.
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+			case fields[0] == DirectiveIgnore:
+				d.Kind = DirectiveIgnore
+				if len(fields) < 3 {
+					d.Malformed = "//benchlint:ignore needs an analyzer name and a reason"
+					break
+				}
+				d.Analyzer = fields[1]
+				d.Reason = strings.Join(fields[2:], " ")
+			default:
+				d.Malformed = "unknown //benchlint:" + fields[0] + " directive"
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}

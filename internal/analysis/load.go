@@ -1,0 +1,375 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, parsed, type-checked module package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Fset       *token.FileSet
+	FileNames  []string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Directives []Directive
+}
+
+// Module identifies the module under analysis.
+type Module struct {
+	Path string // module path from go.mod
+	Root string // absolute directory of go.mod
+}
+
+// Loader loads a module's packages for analysis. Package metadata and
+// dependency export data come from `go list -export -deps -json`, so
+// dependencies resolve from the build cache exactly as the compiler
+// sees them, while the analyzed packages themselves are parsed and
+// type-checked from source to get full ASTs and type information.
+//
+// File parsing and package type-checking both run on a bounded worker
+// pool (Jobs goroutines), which is why internal/analysis is part of
+// the verify gate's -race package list.
+type Loader struct {
+	// Jobs bounds the parse/type-check worker pool; <=0 means
+	// runtime.GOMAXPROCS(0).
+	Jobs int
+}
+
+func (l *Loader) jobs() int {
+	if l.Jobs > 0 {
+		return l.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -export -deps -json` for the patterns in dir
+// and decodes the package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, strings.TrimSpace(stderr.String()))
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// LoadModule loads every package matched by patterns (default ./...)
+// in the module rooted at or above dir, returning the module identity
+// and the parsed, type-checked packages sorted by import path.
+func (l *Loader) LoadModule(dir string, patterns ...string) (Module, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return Module{}, nil, err
+	}
+
+	mod := Module{}
+	exports := map[string]string{}
+	var targets []*listPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		if mod.Path == "" {
+			mod.Path = p.Module.Path
+		}
+		if p.Module.Path == mod.Path {
+			targets = append(targets, p)
+		}
+	}
+	if mod.Path == "" {
+		return Module{}, nil, fmt.Errorf("analysis: no module packages match %v", patterns)
+	}
+	mod.Root = moduleRoot(dir)
+
+	fset := token.NewFileSet()
+	pkgs, err := l.loadPackages(fset, targets, exports)
+	if err != nil {
+		return Module{}, nil, err
+	}
+	return mod, pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir (test
+// fixtures under testdata/, which go list refuses to enumerate).
+// Imports must resolve via go list from the enclosing module.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	target := &listPackage{ImportPath: filepath.ToSlash(abs), Dir: abs, GoFiles: files}
+
+	// Resolve the fixtures' imports (stdlib, typically) to export data.
+	fset := token.NewFileSet()
+	imports := map[string]bool{}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(abs, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		paths := make([]string, 0, len(imports))
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(abs, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	pkgs, err := l.loadPackages(fset, []*listPackage{target}, exports)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// loadPackages parses and type-checks the target packages on the
+// worker pool, resolving all imports through the export map.
+func (l *Loader) loadPackages(fset *token.FileSet, targets []*listPackage, exports map[string]string) ([]*Package, error) {
+	imp := newExportImporter(fset, exports)
+	jobs := l.jobs()
+
+	// Parse every file of every package concurrently. token.FileSet
+	// and parser.ParseFile are safe for concurrent use.
+	type parseJob struct {
+		pkg  int
+		file int
+		path string
+	}
+	pkgs := make([]*Package, len(targets))
+	var parseJobs []parseJob
+	for i, t := range targets {
+		pkgs[i] = &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Name:       t.Name,
+			Fset:       fset,
+			FileNames:  make([]string, len(t.GoFiles)),
+			Files:      make([]*ast.File, len(t.GoFiles)),
+		}
+		for j, name := range t.GoFiles {
+			pkgs[i].FileNames[j] = name
+			parseJobs = append(parseJobs, parseJob{pkg: i, file: j, path: filepath.Join(t.Dir, name)})
+		}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	ch := make(chan parseJob)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				f, err := parser.ParseFile(fset, j.path, nil, parser.ParseComments)
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, err)
+				} else {
+					pkgs[j.pkg].Files[j.file] = f
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range parseJobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, joinErrors("parsing", errs)
+	}
+
+	// Type-check packages concurrently. Imports all come from export
+	// data, so there is no inter-target ordering requirement; the
+	// importer serializes itself internally.
+	sem := make(chan struct{}, jobs)
+	for _, pkg := range pkgs {
+		wg.Add(1)
+		go func(pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			err := typeCheck(pkg, imp)
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("%s: %v", pkg.ImportPath, err))
+				mu.Unlock()
+			}
+		}(pkg)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, joinErrors("type-checking", errs)
+	}
+
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// typeCheck runs go/types over one parsed package and collects its
+// directives.
+func typeCheck(pkg *Package, imp types.Importer) error {
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkg.ImportPath, pkg.Fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return err
+	}
+	pkg.Types = tpkg
+	if pkg.Name == "" {
+		pkg.Name = tpkg.Name()
+	}
+	for _, f := range pkg.Files {
+		pkg.Directives = append(pkg.Directives, collectDirectives(pkg.Fset, f)...)
+	}
+	return nil
+}
+
+// exportImporter resolves import paths to compiler export data files
+// produced by `go list -export`. It serializes access because the
+// underlying gc importer shares a package map across imports.
+type exportImporter struct {
+	mu      sync.Mutex
+	imp     types.ImporterFrom
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	e := &exportImporter{exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := e.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	e.imp = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.imp.ImportFrom(path, dir, mode)
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod.
+func moduleRoot(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return abs
+		}
+		d = parent
+	}
+}
+
+func joinErrors(stage string, errs []error) error {
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	sort.Strings(msgs)
+	return fmt.Errorf("analysis: %s failed:\n  %s", stage, strings.Join(msgs, "\n  "))
+}

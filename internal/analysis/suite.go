@@ -1,0 +1,25 @@
+package analysis
+
+// Suite returns benchlint's project-invariant analyzers, in the order
+// they are documented: the four rules the execution engine's
+// correctness rests on (DESIGN.md "Enforced invariants").
+func Suite() []*Analyzer {
+	return []*Analyzer{CtxFlow, Determinism, StageErr, Locks}
+}
+
+// ByName resolves a comma-separated selection against the suite.
+func ByName(names []string) ([]*Analyzer, bool) {
+	byName := map[string]*Analyzer{}
+	for _, a := range Suite() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

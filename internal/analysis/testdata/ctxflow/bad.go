@@ -1,0 +1,19 @@
+// Package fixture exercises the ctxflow analyzer: fresh contexts
+// outside main/compat, and misplaced context parameters.
+package fixture
+
+import "context"
+
+func runPipeline() error {
+	ctx := context.Background() //want ctxflow
+	_ = ctx
+	return nil
+}
+
+func syncAll() {
+	doWork(context.TODO()) //want ctxflow
+}
+
+func doWork(ctx context.Context) { _ = ctx }
+
+func misplaced(name string, ctx context.Context) { _, _ = name, ctx } //want ctxflow

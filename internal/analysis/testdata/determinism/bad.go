@@ -1,0 +1,35 @@
+// Package fixture exercises the determinism analyzer: wall-clock
+// reads, unseeded global randomness, and order-sensitive map
+// iteration.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix() //want determinism
+}
+
+func jitter() float64 {
+	return rand.Float64() //want determinism
+}
+
+func render(vals map[string]int) string {
+	var b strings.Builder
+	for k := range vals { //want determinism
+		fmt.Fprintf(&b, "%s\n", k)
+	}
+	return b.String()
+}
+
+func keys(vals map[string]int) []string {
+	var out []string
+	for k := range vals { //want determinism
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func seeded(name string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(len(name))))
+}
+
+func draw(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+func sortedKeys(vals map[string]int) []string {
+	out := make([]string, 0, len(vals))
+	for k := range vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func merge(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}

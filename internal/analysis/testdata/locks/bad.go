@@ -1,0 +1,33 @@
+// Package fixture exercises the locks analyzer: sync primitives
+// copied by value and Lock calls a return path can bypass.
+package fixture
+
+import "sync"
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+func (c cache) get(key string) int { //want locks
+	return c.entries[key]
+}
+
+func (c *cache) put(key string, v int) error {
+	c.mu.Lock() //want locks
+	if v < 0 {
+		return nil
+	}
+	c.entries[key] = v
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *cache) size() int {
+	c.mu.Lock() //want locks
+	return len(c.entries)
+}
+
+func snapshot(c *cache) cache {
+	return *c //want locks
+}

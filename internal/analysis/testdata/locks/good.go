@@ -1,0 +1,27 @@
+package fixture
+
+import "sync"
+
+type registry struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+func (r *registry) get(key string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.items[key]
+	return v, ok
+}
+
+func (r *registry) put(key string, v int) {
+	r.mu.Lock()
+	r.items[key] = v
+	r.mu.Unlock()
+}
+
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.items)
+}

@@ -1,0 +1,24 @@
+// Package fixture exercises the stageerr analyzer: ad-hoc errors
+// crossing the engine boundary and fmt.Errorf wrapping without %w.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+type stageFailure struct{ err error }
+
+func (e *stageFailure) Error() string { return e.err.Error() }
+
+func setup() error {
+	return errors.New("setup failed") //want stageerr
+}
+
+func execute(name string) error {
+	return fmt.Errorf("executing %s: temperature too high", name) //want stageerr
+}
+
+func wrap(name string, err error) error {
+	return &stageFailure{err: fmt.Errorf("stage %s: %v", name, err)} //want stageerr
+}

@@ -1,0 +1,14 @@
+package fixture
+
+import "fmt"
+
+func executeOK(name string, cause error) error {
+	if cause == nil {
+		return nil
+	}
+	return &stageFailure{err: fmt.Errorf("executing %s: %w", name, cause)}
+}
+
+func describe(name string, n int) string {
+	return fmt.Sprintf("%s ran %d experiments", name, n)
+}

@@ -191,6 +191,9 @@ func (gl *GitLab) Pipelines() []*Pipeline {
 // executes its jobs stage by stage. Jacamar decides the execution
 // identity: the triggering user when they hold an account at the
 // runner's site, otherwise the approving admin (Section 3.3.2).
+// Cancellable callers use RunPipelineContext.
+//
+//benchlint:compat
 func (gl *GitLab) RunPipeline(sha, triggeredBy, approvedBy string) (*Pipeline, error) {
 	return gl.RunPipelineContext(context.Background(), sha, triggeredBy, approvedBy)
 }
@@ -325,7 +328,10 @@ func NewHubcast(gh *GitHub, gl *GitLab, criteria SecurityCriteria) *Hubcast {
 // Sync evaluates the security criteria for a PR; if they pass, the PR
 // head is mirrored to GitLab, the CI pipeline runs, and the status is
 // streamed back to the PR. It returns the pipeline (nil when
-// mirroring was refused, with the error explaining why).
+// mirroring was refused, with the error explaining why). Cancellable
+// callers use SyncContext.
+//
+//benchlint:compat
 func (h *Hubcast) Sync(prID int) (*Pipeline, error) {
 	return h.SyncContext(context.Background(), prID)
 }

@@ -111,7 +111,10 @@ func (a *Automation) jobExecutor(workDir string) ci.JobExecutor {
 // branch — the "in service" stage of Section 1, where continuous
 // benchmarking tracks system performance over time. Results accrue in
 // the shared metrics database; the caller can then run regression
-// detection over the series.
+// detection over the series. Cancellable deployments use
+// RunNightlyContext.
+//
+//benchlint:compat
 func (a *Automation) RunNightly() (*ci.Pipeline, error) {
 	return a.RunNightlyContext(context.Background())
 }
@@ -143,7 +146,10 @@ type ContributionResult struct {
 
 // SubmitContribution opens a PR from a contributor's fork, has an
 // admin approve it, syncs through Hubcast (running the pipelines on
-// the site runners), and merges on success.
+// the site runners), and merges on success. Cancellable deployments
+// use SubmitContributionContext.
+//
+//benchlint:compat
 func (a *Automation) SubmitContribution(author, title string, files map[string]string, approver string) (*ContributionResult, error) {
 	return a.SubmitContributionContext(context.Background(), author, title, files, approver)
 }

@@ -116,15 +116,10 @@ func (bp *Benchpark) Setup(suite, systemName, workspaceDir string) (*Session, er
 	return s, nil
 }
 
-// installSoftware is the Ramble→Spack hook (Figure 1c step 6): each
-// named environment concretizes together and installs, keeping the
-// lockfile for provenance.
-func (s *Session) installSoftware(envName string, specs []string) error {
-	return s.installSoftwareContext(context.Background(), envName, specs)
-}
-
-// installSoftwareContext is installSoftware with cancellation
-// propagated through the install engine's worker pool.
+// installSoftwareContext is the Ramble→Spack hook (Figure 1c step 6):
+// each named environment concretizes together and installs, keeping
+// the lockfile for provenance, with cancellation propagated through
+// the install engine's worker pool.
 func (s *Session) installSoftwareContext(ctx context.Context, envName string, specs []string) error {
 	e := env.New(envName)
 	for _, str := range specs {
@@ -235,9 +230,12 @@ func NewSessionForWorkspace(bp *Benchpark, sys *hpcsim.System, ws *ramble.Worksp
 }
 
 // InstallSoftware is the exported Ramble→Spack hook for external
-// drivers (the ramble CLI).
+// drivers (the ramble CLI), which have no pipeline context to thread
+// through; engine-driven installs go via installSoftwareContext.
+//
+//benchlint:compat
 func (s *Session) InstallSoftware(envName string, specs []string) error {
-	return s.installSoftware(envName, specs)
+	return s.installSoftwareContext(context.Background(), envName, specs)
 }
 
 // Executor is the exported scheduler-backed experiment executor.
@@ -291,6 +289,9 @@ type RunOptions struct {
 //
 // Experiments execute concurrently on the engine's worker pool; the
 // results are identical to a sequential run (see internal/engine).
+// Cancellable callers use Run directly.
+//
+//benchlint:compat
 func (s *Session) RunAll() (*ramble.AnalysisReport, error) {
 	rep, _, err := s.Run(context.Background(), RunOptions{})
 	return rep, err
@@ -301,7 +302,10 @@ func (s *Session) RunAll() (*ramble.AnalysisReport, error) {
 // its rendered batch script (so the Figure 13 #SBATCH/#BSUB/#flux
 // directives actually drive the allocation), the whole queue drains
 // as one simulation — experiments run concurrently when nodes allow —
-// and the analysis proceeds on the collected outputs.
+// and the analysis proceeds on the collected outputs. Cancellable
+// callers use Run directly with RunOptions.Batched.
+//
+//benchlint:compat
 func (s *Session) RunAllBatched() (*ramble.AnalysisReport, error) {
 	rep, _, err := s.Run(context.Background(), RunOptions{Batched: true})
 	return rep, err

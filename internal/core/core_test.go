@@ -467,7 +467,7 @@ func TestFailurePropagatesThroughStack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Workspace.Setup(sess.installSoftware); err != nil {
+	if err := sess.Workspace.Setup(sess.InstallSoftware); err != nil {
 		t.Fatal(err)
 	}
 	// Inject the fault into every experiment.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/engine"
@@ -56,6 +57,90 @@ func TestRunDeterministicAcrossJobs(t *testing.T) {
 		if a.Experiment != b.Experiment || a.Seq != b.Seq {
 			t.Errorf("metrics stream diverges at %d: %s/%d vs %s/%d",
 				i, a.Experiment, a.Seq, b.Experiment, b.Seq)
+		}
+		for k, v := range a.FOMs {
+			if b.FOMs[k] != v {
+				t.Errorf("%s: FOM %s = %v vs %v", a.Experiment, k, v, b.FOMs[k])
+			}
+		}
+	}
+}
+
+// TestRunRepeatableByteIdentical is the regression test behind the
+// determinism analyzer's wall-clock audit: two runs of the same
+// matrix — same suite, same system, fresh deployments — must leave
+// byte-identical artifacts behind (results.json, per-experiment .out
+// and .cali files) and identical metrics streams. Any wall-clock
+// read, unseeded randomness, or map-ordered commit leaking into the
+// committed results breaks this.
+func TestRunRepeatableByteIdentical(t *testing.T) {
+	runOnce := func() (map[string]string, []metricsdb.Result) {
+		t.Helper()
+		bp := New()
+		dir := t.TempDir()
+		sess, err := bp.Setup("saxpy/openmp", "cts1", dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, _, err := sess.Run(context.Background(), RunOptions{Jobs: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			t.Fatalf("%d experiments failed", rep.Failed)
+		}
+		artifacts := map[string]string{}
+		err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil || info.IsDir() {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rel, err := filepath.Rel(dir, path)
+			if err != nil {
+				return err
+			}
+			// Batch scripts legitimately embed the workspace path;
+			// normalize it so only real nondeterminism can differ.
+			artifacts[rel] = strings.ReplaceAll(string(data), dir, "$WORKSPACE")
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return artifacts, bp.Metrics.Query(metricsdb.Filter{})
+	}
+
+	first, firstMetrics := runOnce()
+	second, secondMetrics := runOnce()
+
+	if len(first) == 0 {
+		t.Fatal("run left no artifacts behind")
+	}
+	for rel, data := range first {
+		other, ok := second[rel]
+		if !ok {
+			t.Errorf("second run is missing artifact %s", rel)
+			continue
+		}
+		if data != other {
+			t.Errorf("artifact %s differs between identical runs", rel)
+		}
+	}
+	for rel := range second {
+		if _, ok := first[rel]; !ok {
+			t.Errorf("second run grew an extra artifact %s", rel)
+		}
+	}
+	if len(firstMetrics) != len(secondMetrics) {
+		t.Fatalf("metrics count: %d vs %d", len(firstMetrics), len(secondMetrics))
+	}
+	for i := range firstMetrics {
+		a, b := firstMetrics[i], secondMetrics[i]
+		if a.Experiment != b.Experiment || a.Manifest != b.Manifest {
+			t.Errorf("metrics stream diverges at %d: %s vs %s", i, a.Experiment, b.Experiment)
 		}
 		for k, v := range a.FOMs {
 			if b.FOMs[k] != v {

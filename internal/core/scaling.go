@@ -40,7 +40,10 @@ type StudyResult struct {
 	Thicket      *thicket.Thicket
 }
 
-// Run executes the study and fits the Extra-P model.
+// Run executes the study and fits the Extra-P model. Cancellable
+// callers use RunContext.
+//
+//benchlint:compat
 func (st *ScalingStudy) Run(bp *Benchpark) (*StudyResult, error) {
 	return st.RunContext(context.Background(), bp, 0)
 }

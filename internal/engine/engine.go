@@ -18,6 +18,14 @@
 //   - Partial failure: one failed experiment no longer aborts the
 //     matrix; failures surface as typed *StageError values in the
 //     Report.
+//
+// Wall-clock audit: the only real-time value the engine touches is
+// Options.Timeout, a duration bound handed to context.WithTimeout —
+// it can cancel a run but never feeds committed results. Nothing in
+// the commit path reads time.Now or draws from the global math/rand
+// generator; cmd/benchlint's determinism analyzer enforces this, and
+// core's TestRunRepeatableByteIdentical pins the observable
+// consequence (re-running a matrix is byte-identical).
 package engine
 
 import (

@@ -101,6 +101,9 @@ func (e *Environment) Concretize(c *concretizer.Concretizer) error {
 func (e *Environment) IsConcretized() bool { return len(e.Roots) == len(e.Specs) && len(e.Specs) > 0 }
 
 // Install installs every concretized root (`spack install`).
+// Cancellable callers use InstallContext.
+//
+//benchlint:compat
 func (e *Environment) Install(inst *install.Installer) (*install.Report, error) {
 	return e.InstallContext(context.Background(), inst)
 }

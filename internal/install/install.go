@@ -232,6 +232,9 @@ func (inst *Installer) BuildSeconds(node *spec.Spec) (float64, error) {
 
 // Install installs the DAG rooted at root. The root is recorded as
 // explicitly installed. It is an error if root is not concrete.
+// Cancellable callers use InstallContext.
+//
+//benchlint:compat
 func (inst *Installer) Install(root *spec.Spec) (*Report, error) {
 	return inst.InstallContext(context.Background(), root)
 }

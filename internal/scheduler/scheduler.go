@@ -286,7 +286,10 @@ func (s *Scheduler) Step() bool {
 }
 
 // Drain runs the simulation until all jobs have completed. It returns
-// an error if pending jobs remain that can never start.
+// an error if pending jobs remain that can never start. Cancellable
+// callers use DrainContext.
+//
+//benchlint:compat
 func (s *Scheduler) Drain() error {
 	return s.DrainContext(context.Background())
 }

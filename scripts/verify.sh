@@ -1,10 +1,11 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate.
 #
-# Runs the tier-1 check (build + vet + full test suite) and then the
-# race-detector pass over the packages that do real concurrency: the
-# execution engine, the session/scaling orchestration built on it, the
-# parallel installer, and the concurrency-safe build cache.
+# Runs the tier-1 check (build + vet + benchlint + full test suite)
+# and then the race-detector pass over the packages that do real
+# concurrency: the execution engine, the session/scaling orchestration
+# built on it, the parallel installer, the concurrency-safe build
+# cache, and benchlint's concurrent package loader.
 #
 #   ./scripts/verify.sh
 set -eu
@@ -16,10 +17,13 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> benchlint (project invariants)"
+go run ./cmd/benchlint
+
 echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache
+go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/analysis
 
 echo "==> verify OK"
