@@ -22,12 +22,14 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dashboard"
 	"repro/internal/hpcsim"
 	"repro/internal/ramble"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -37,26 +39,95 @@ func main() {
 	}
 }
 
-// execOpts carries the global engine flags: worker-pool width and the
-// overall deadline plumbed into the engine's context.
+// execOpts carries the global engine flags: worker-pool width, the
+// overall deadline plumbed into the engine's context, and the
+// observability switches (--trace-out, --log-level).
 type execOpts struct {
-	jobs    int
-	timeout time.Duration
+	jobs     int
+	timeout  time.Duration
+	traceOut string
+	logLevel string
+
+	tracer *telemetry.Tracer // created by instrument when traceOut is set
 }
 
 // context returns the context the engine runs under.
-func (o execOpts) context() (context.Context, context.CancelFunc) {
+func (o *execOpts) context() (context.Context, context.CancelFunc) {
 	if o.timeout > 0 {
 		return context.WithTimeout(context.Background(), o.timeout)
 	}
 	return context.WithCancel(context.Background())
 }
 
-// parseGlobalFlags strips --jobs N and --timeout DUR (accepted
-// anywhere on the command line, before or after the subcommand) and
-// returns the remaining arguments.
+// instrument derives the run's observability context: a wall-clock
+// tracer when --trace-out was given, a stderr logger when --log-level
+// was.
+func (o *execOpts) instrument(ctx context.Context) (context.Context, error) {
+	if o.traceOut != "" {
+		o.tracer = telemetry.New(nil)
+		ctx = telemetry.WithTracer(ctx, o.tracer)
+	}
+	if o.logLevel != "" {
+		lvl, err := telemetry.ParseLevel(o.logLevel)
+		if err != nil {
+			return ctx, err
+		}
+		ctx = telemetry.WithLogger(ctx, telemetry.NewLogger(os.Stderr, lvl))
+	}
+	return ctx, nil
+}
+
+// finish writes the collected trace to --trace-out; a no-op when
+// tracing was off.
+func (o *execOpts) finish() error {
+	if o.tracer == nil {
+		return nil
+	}
+	if err := writeTrace(o.traceOut, o.tracer.Snapshot()); err != nil {
+		return err
+	}
+	fmt.Printf("==> trace written to %s\n", o.traceOut)
+	return nil
+}
+
+// writeTrace exports the snapshot in the format implied by the file
+// extension: .cali is a Caliper profile (ready for the caliper →
+// thicket → extrap path), .prom/.txt is Prometheus text exposition,
+// anything else the native JSON trace.
+func writeTrace(path string, tr *telemetry.Trace) error {
+	var out string
+	var err error
+	switch {
+	case strings.HasSuffix(path, ".cali"):
+		out, err = tr.CaliperProfile().JSON()
+	case strings.HasSuffix(path, ".prom"), strings.HasSuffix(path, ".txt"):
+		out = tr.PrometheusText()
+	default:
+		out, err = tr.JSON()
+	}
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(out), 0o644)
+}
+
+// parseGlobalFlags strips the global flags (accepted anywhere on the
+// command line, before or after the subcommand, in both "--flag value"
+// and "--flag=value" forms) and returns the remaining arguments.
 func parseGlobalFlags(args []string) (execOpts, []string, error) {
 	opts := execOpts{jobs: runtime.NumCPU()}
+	// Normalize --flag=value into two tokens.
+	var split []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			if i := strings.IndexByte(a, '='); i > 0 {
+				split = append(split, a[:i], a[i+1:])
+				continue
+			}
+		}
+		split = append(split, a)
+	}
+	args = split
 	var rest []string
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
@@ -79,6 +150,21 @@ func parseGlobalFlags(args []string) (execOpts, []string, error) {
 				return opts, nil, fmt.Errorf("bad timeout %q", args[i+1])
 			}
 			opts.timeout = d
+			i++
+		case "--trace-out", "-trace-out":
+			if i+1 >= len(args) {
+				return opts, nil, fmt.Errorf("%s needs a file path", args[i])
+			}
+			opts.traceOut = args[i+1]
+			i++
+		case "--log-level", "-log-level":
+			if i+1 >= len(args) {
+				return opts, nil, fmt.Errorf("%s needs a level (debug|info|warn|error)", args[i])
+			}
+			if _, err := telemetry.ParseLevel(args[i+1]); err != nil {
+				return opts, nil, err
+			}
+			opts.logLevel = args[i+1]
 			i++
 		default:
 			rest = append(rest, args[i])
@@ -121,9 +207,15 @@ func run(rawArgs []string) error {
 		fmt.Print(core.ComponentTable())
 		return nil
 	case "figure14":
-		return figure14(args[1:], opts)
+		return figure14(args[1:], &opts)
 	case "ci-demo":
-		return ciDemo(opts)
+		return ciDemo(&opts)
+	case "run":
+		if len(args) != 4 {
+			usage()
+			return fmt.Errorf("expected: benchpark run <suite> <system> <workspace-dir>")
+		}
+		return runSuite(args[1], args[2], args[3], &opts)
 	case "spec":
 		return specCmd(args[1:])
 	case "find":
@@ -146,12 +238,12 @@ func run(rawArgs []string) error {
 		usage()
 		return fmt.Errorf("expected: benchpark <suite> <system> <workspace-dir>")
 	}
-	return runSuite(args[0], args[1], args[2], opts)
+	return runSuite(args[0], args[1], args[2], &opts)
 }
 
 func usage() {
 	fmt.Println(`usage:
-  benchpark <experiment-suite> <system> <workspace-dir>
+  benchpark [run] <experiment-suite> <system> <workspace-dir>
   benchpark suites | systems | components | figure14 [p ...] | ci-demo
   benchpark spec <system> <spec>       concretize and print the DAG
   benchpark find <system> [constraint] list installed packages
@@ -161,19 +253,31 @@ func usage() {
   benchpark provision <name> <instance-type> <nodes> [suite]
   benchpark report [out.md] [-full]
 
-global flags (accepted anywhere):
-  --jobs N        engine worker-pool width (default: number of CPUs)
-  --timeout DUR   overall deadline for the run (e.g. 30s, 5m)`)
+global flags (accepted anywhere, --flag value or --flag=value):
+  --jobs N         engine worker-pool width (default: number of CPUs)
+  --timeout DUR    overall deadline for the run (e.g. 30s, 5m)
+  --trace-out F    write the run's telemetry trace to F; the extension
+                   picks the format (.json trace, .cali Caliper
+                   profile, .prom Prometheus text)
+  --log-level L    structured logs on stderr (debug|info|warn|error)`)
 }
 
-func runSuite(suite, system, dir string, opts execOpts) error {
+func runSuite(suite, system, dir string, opts *execOpts) error {
 	bp := core.New()
 	sess, err := bp.Setup(suite, system, dir)
 	if err != nil {
 		return err
 	}
+	ctx, err := opts.instrument(context.Background())
+	if err != nil {
+		return err
+	}
+	bp.Cache.Instrument(opts.tracer.Metrics())
 	fmt.Printf("==> workspace %s for %s on %s (%d workers)\n", dir, suite, system, opts.jobs)
-	rep, _, err := sess.Run(context.Background(), core.RunOptions{Jobs: opts.jobs, Timeout: opts.timeout})
+	rep, erep, err := sess.Run(ctx, core.RunOptions{Jobs: opts.jobs, Timeout: opts.timeout})
+	if ferr := opts.finish(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}
@@ -193,13 +297,18 @@ func runSuite(suite, system, dir string, opts execOpts) error {
 	}
 	fmt.Printf("==> batch makespan %.1fs (simulated), utilization %.1f%%\n",
 		sess.Scheduler.Makespan(), 100*sess.Scheduler.Utilization())
+	if opts.tracer != nil && erep != nil {
+		if s := erep.TimingSummary(); s != "" {
+			fmt.Print("==> stage timings\n" + s)
+		}
+	}
 	if rep.Failed > 0 {
-		return fmt.Errorf("%d experiments failed", rep.Failed)
+		return &core.ExperimentFailuresError{Report: erep}
 	}
 	return nil
 }
 
-func figure14(args []string, opts execOpts) error {
+func figure14(args []string, opts *execOpts) error {
 	var scales []int
 	svgOut := ""
 	for i := 0; i < len(args); i++ {
@@ -226,7 +335,14 @@ func figure14(args []string, opts execOpts) error {
 		study.System.Name, study.Scales, study.Scales[len(study.Scales)-1])
 	ctx, cancel := opts.context()
 	defer cancel()
+	ctx, err = opts.instrument(ctx)
+	if err != nil {
+		return err
+	}
 	res, err := study.RunContext(ctx, core.New(), opts.jobs)
+	if ferr := opts.finish(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}
@@ -246,7 +362,7 @@ func figure14(args []string, opts execOpts) error {
 	return nil
 }
 
-func ciDemo(opts execOpts) error {
+func ciDemo(opts *execOpts) error {
 	bp := core.New()
 	dir, err := os.MkdirTemp("", "benchpark-ci-*")
 	if err != nil {
@@ -260,8 +376,16 @@ func ciDemo(opts execOpts) error {
 	fmt.Println("==> contributor 'jens' opens a PR; site admin 'olga' approves")
 	ctx, cancel := opts.context()
 	defer cancel()
+	ctx, err = opts.instrument(ctx)
+	if err != nil {
+		return err
+	}
+	bp.Cache.Instrument(opts.tracer.Metrics())
 	res, err := auto.SubmitContributionContext(ctx, "jens", "add RIKEN notes",
 		map[string]string{"docs/riken.md": "results"}, "olga")
+	if ferr := opts.finish(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}

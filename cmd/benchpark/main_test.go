@@ -224,6 +224,58 @@ func TestRunSuiteWithJobsFlag(t *testing.T) {
 	}
 }
 
+// TestRunSuiteWithTraceOut runs a suite with every trace format and
+// checks the export lands on disk in the right shape.
+func TestRunSuiteWithTraceOut(t *testing.T) {
+	out := t.TempDir()
+
+	trace := filepath.Join(out, "trace.json")
+	if err := run([]string{"run", "--trace-out=" + trace, "saxpy/openmp", "cts1", filepath.Join(out, "ws1")}); err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"format": "benchpark-trace-1"`, `"session"`, `"engine.run"`, "engine_stage_seconds"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+
+	cali := filepath.Join(out, "trace.cali")
+	if err := run([]string{"--trace-out", cali, "saxpy/openmp", "cts1", filepath.Join(out, "ws2")}); err != nil {
+		t.Fatalf("cali run: %v", err)
+	}
+	if data, err = os.ReadFile(cali); err != nil || !strings.Contains(string(data), "regions") {
+		t.Errorf("caliper profile: %v %.60s", err, data)
+	}
+
+	prom := filepath.Join(out, "metrics.prom")
+	if err := run([]string{"--trace-out", prom, "saxpy/openmp", "cts1", filepath.Join(out, "ws3")}); err != nil {
+		t.Fatalf("prom run: %v", err)
+	}
+	if data, err = os.ReadFile(prom); err != nil || !strings.Contains(string(data), "# TYPE") {
+		t.Errorf("prometheus exposition: %v %.60s", err, data)
+	}
+}
+
+func TestLogLevelFlagValidation(t *testing.T) {
+	if _, _, err := parseGlobalFlags([]string{"--log-level", "loud"}); err == nil {
+		t.Error("bad log level should fail at parse time")
+	}
+	opts, rest, err := parseGlobalFlags([]string{"--log-level=debug", "--trace-out=t.json", "suites"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.logLevel != "debug" || opts.traceOut != "t.json" {
+		t.Errorf("opts = %+v", opts)
+	}
+	if len(rest) != 1 || rest[0] != "suites" {
+		t.Errorf("rest = %v", rest)
+	}
+}
+
 func TestRunSuiteTimeoutCancels(t *testing.T) {
 	// A 1ns deadline expires before the engine's first stage; the run
 	// must fail with a cancellation error instead of hanging.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -57,7 +58,7 @@ func run() error {
 		return err
 	}
 	fmt.Println("\nSteps 8-9: ramble on + ramble workspace analyze")
-	rep, err := sess2.RunAll()
+	rep, erep, err := sess2.Run(context.Background(), core.RunOptions{})
 	if err != nil {
 		return err
 	}
@@ -73,7 +74,7 @@ func run() error {
 		fmt.Printf("%-32s %-10s %-14s %s\n", e.Name, e.Status, e.FOMs["saxpy_time"], e.FOMs["success"])
 	}
 	if rep.Failed > 0 {
-		return fmt.Errorf("%d experiments failed", rep.Failed)
+		return &core.ExperimentFailuresError{Report: erep}
 	}
 
 	lf := sess2.Lockfiles["saxpy"]

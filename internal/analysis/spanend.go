@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd enforces the telemetry span discipline: every span returned
+// by a StartSpan call is Ended on every return path — either by an
+// immediate defer (the house style) or by explicit End calls no
+// return can bypass — and never discarded outright. A span that is
+// not ended never reaches the tracer, so it silently vanishes from
+// every trace export.
+var SpanEnd = &Analyzer{
+	Name:  "spanend",
+	Doc:   "every StartSpan has a matching End on every return path",
+	Scope: []string{"internal/engine", "internal/core", "internal/ci", "internal/install", "internal/telemetry"},
+	Run:   runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanSpanPairs(pass, n.Body.List, true)
+				}
+			case *ast.FuncLit:
+				scanSpanPairs(pass, n.Body.List, true)
+			}
+			return true
+		})
+	}
+}
+
+// startSpanAssign matches `ctx, s := ....StartSpan(...)` (or a plain
+// StartSpan call), returning the span variable's name.
+func startSpanAssign(stmt ast.Stmt) (span string, ok bool) {
+	as, isAssign := stmt.(*ast.AssignStmt)
+	if !isAssign || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	call, isCall := as.Rhs[0].(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "StartSpan" {
+			return "", false
+		}
+	case *ast.Ident:
+		if fun.Name != "StartSpan" {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	id, isIdent := as.Lhs[1].(*ast.Ident)
+	if !isIdent {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// endCall matches an ExprStmt calling End() on the named span.
+func endCall(stmt ast.Stmt, span string) bool {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return false
+	}
+	return endCallExpr(es.X, span)
+}
+
+func endCallExpr(e ast.Expr, span string) bool {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "End" {
+		return false
+	}
+	return types.ExprString(sel.X) == span
+}
+
+// scanSpanPairs walks one statement list. For each StartSpan it
+// requires a matching deferred or straight-line End before the end of
+// the list, with no return statement slipping through in between. It
+// recurses into nested blocks to find spans opened there.
+func scanSpanPairs(pass *Pass, stmts []ast.Stmt, funcBody bool) {
+	for i, stmt := range stmts {
+		// Recurse into compound statements.
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			scanSpanPairs(pass, s.List, false)
+		case *ast.IfStmt:
+			scanSpanPairs(pass, s.Body.List, false)
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				scanSpanPairs(pass, blk.List, false)
+			}
+		case *ast.ForStmt:
+			scanSpanPairs(pass, s.Body.List, false)
+		case *ast.RangeStmt:
+			scanSpanPairs(pass, s.Body.List, false)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanSpanPairs(pass, cc.Body, false)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanSpanPairs(pass, cc.Body, false)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanSpanPairs(pass, cc.Body, false)
+				}
+			}
+		}
+
+		span, ok := startSpanAssign(stmt)
+		if !ok {
+			continue
+		}
+		if span == "_" {
+			pass.Reportf(stmt.Pos(),
+				"StartSpan's span is discarded; it can never be Ended and will be missing from the trace")
+			continue
+		}
+		ended := false
+		for _, next := range stmts[i+1:] {
+			if d, isDefer := next.(*ast.DeferStmt); isDefer {
+				if endCallExpr(d.Call, span) {
+					ended = true
+					break
+				}
+				continue
+			}
+			if endCall(next, span) {
+				ended = true
+				break
+			}
+			if escapesUnended(next, span) {
+				pass.Reportf(stmt.Pos(),
+					"span %s is not Ended on every return path; defer %s.End() immediately after StartSpan", span, span)
+				ended = true // reported; stop tracking this span
+				break
+			}
+		}
+		if !ended && funcBody {
+			pass.Reportf(stmt.Pos(),
+				"span %s has no matching %s.End() before the function returns", span, span)
+		}
+	}
+}
+
+// escapesUnended reports whether stmt can return from the function
+// with the span still open: it contains a return statement and no
+// matching End anywhere in its subtree (closures excluded).
+func escapesUnended(stmt ast.Stmt, span string) bool {
+	hasReturn, hasEnd := false, false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			hasReturn = true
+		case *ast.CallExpr:
+			if endCallExpr(n, span) {
+				hasEnd = true
+			}
+		}
+		return true
+	})
+	return hasReturn && !hasEnd
+}

@@ -1,10 +1,10 @@
 package analysis
 
 // Suite returns benchlint's project-invariant analyzers, in the order
-// they are documented: the four rules the execution engine's
+// they are documented: the five rules the execution engine's
 // correctness rests on (DESIGN.md "Enforced invariants").
 func Suite() []*Analyzer {
-	return []*Analyzer{CtxFlow, Determinism, StageErr, Locks}
+	return []*Analyzer{CtxFlow, Determinism, StageErr, Locks, SpanEnd}
 }
 
 // ByName resolves a comma-separated selection against the suite.

@@ -1,0 +1,55 @@
+// Package fixture exercises the spanend analyzer: spans that a
+// return path can bypass, spans never ended, and discarded spans.
+package fixture
+
+import "context"
+
+// tracer stands in for the telemetry package: the analyzer matches
+// any two-result StartSpan callee, so fixtures stay stdlib-only.
+type tracer struct{}
+
+type span struct{}
+
+func (tracer) StartSpan(ctx context.Context, name string) (context.Context, *span) {
+	return ctx, &span{}
+}
+
+func (*span) End()             {}
+func (*span) SetErr(err error) {}
+
+func leakOnReturn(ctx context.Context, t tracer, fail bool) error {
+	ctx, s := t.StartSpan(ctx, "work") //want spanend
+	if fail {
+		return context.Canceled
+	}
+	s.End()
+	_ = ctx
+	return nil
+}
+
+func neverEnded(ctx context.Context, t tracer) {
+	_, s := t.StartSpan(ctx, "work") //want spanend
+	s.SetErr(nil)
+}
+
+func discarded(ctx context.Context, t tracer) {
+	_, _ = t.StartSpan(ctx, "work") //want spanend
+}
+
+func leakInLoop(ctx context.Context, t tracer, names []string) error {
+	for _, name := range names {
+		_, s := t.StartSpan(ctx, name) //want spanend
+		if name == "" {
+			return context.Canceled
+		}
+		s.End()
+	}
+	return nil
+}
+
+func leakInClosure(ctx context.Context, t tracer) func() {
+	return func() {
+		_, s := t.StartSpan(ctx, "inner") //want spanend
+		_ = s
+	}
+}

@@ -1,0 +1,47 @@
+package fixture
+
+import "context"
+
+func deferred(ctx context.Context, t tracer, fail bool) error {
+	ctx, s := t.StartSpan(ctx, "work")
+	defer s.End()
+	if fail {
+		return context.Canceled
+	}
+	_ = ctx
+	return nil
+}
+
+func straightLine(ctx context.Context, t tracer) error {
+	_, s := t.StartSpan(ctx, "work")
+	s.SetErr(nil)
+	s.End()
+	return nil
+}
+
+func endedInEveryBranch(ctx context.Context, t tracer, fail bool) error {
+	_, s := t.StartSpan(ctx, "work")
+	if fail {
+		s.End()
+		return context.Canceled
+	}
+	s.End()
+	return nil
+}
+
+func nestedOK(ctx context.Context, t tracer, names []string) error {
+	_, outer := t.StartSpan(ctx, "outer")
+	defer outer.End()
+	for _, name := range names {
+		_, s := t.StartSpan(ctx, name)
+		s.End()
+	}
+	return nil
+}
+
+func closureOK(ctx context.Context, t tracer) func() {
+	return func() {
+		_, s := t.StartSpan(ctx, "inner")
+		defer s.End()
+	}
+}

@@ -11,6 +11,8 @@ package buildcache
 import (
 	"sort"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Entry is one cached binary: the content address (spec DAG hash),
@@ -32,11 +34,27 @@ type Cache struct {
 	entries map[string]Entry
 
 	hits, misses, puts int
+
+	// Telemetry mirrors of the statistics; the zero-value handles
+	// (uninstrumented cache) drop observations.
+	hitCtr, missCtr, putCtr telemetry.Counter
 }
 
 // New returns an empty cache.
 func New() *Cache {
 	return &Cache{entries: map[string]Entry{}}
+}
+
+// Instrument mirrors the cache's hit/miss/put statistics into the
+// registry as buildcache_hits_total / buildcache_misses_total /
+// buildcache_puts_total counters. A nil registry leaves the cache
+// uninstrumented.
+func (c *Cache) Instrument(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hitCtr = reg.Counter("buildcache_hits_total")
+	c.missCtr = reg.Counter("buildcache_misses_total")
+	c.putCtr = reg.Counter("buildcache_puts_total")
 }
 
 // Put stores an entry under its hash. Content addressing makes the
@@ -46,6 +64,7 @@ func (c *Cache) Put(e Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.puts++
+	c.putCtr.Inc()
 	c.entries[e.Hash] = e
 }
 
@@ -56,8 +75,10 @@ func (c *Cache) Get(hash string) (Entry, bool) {
 	e, ok := c.entries[hash]
 	if ok {
 		c.hits++
+		c.hitCtr.Inc()
 	} else {
 		c.misses++
+		c.missCtr.Inc()
 	}
 	return e, ok
 }

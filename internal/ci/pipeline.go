@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/telemetry"
 	"repro/internal/yamlite"
 )
 
@@ -219,6 +220,14 @@ func (gl *GitLab) RunPipelineContext(ctx context.Context, sha, triggeredBy, appr
 	runners := append([]*Runner(nil), gl.runners...)
 	gl.mu.Unlock()
 
+	// One span per pipeline and per executed job (skipped jobs never
+	// reach a runner and record no span).
+	pctx, pspan := telemetry.StartSpan(ctx, "pipeline")
+	pspan.SetAttr("sha", sha)
+	pspan.SetAttr("triggered_by", triggeredBy)
+	defer pspan.End()
+	defer func() { pspan.SetAttr("status", string(p.Status())) }()
+
 	for _, stage := range stages {
 		var failed bool
 		for _, job := range jobs {
@@ -242,14 +251,22 @@ func (gl *GitLab) RunPipelineContext(ctx context.Context, sha, triggeredBy, appr
 				Site: runner.Site, Job: job.Name, RunAs: job.RunAs, Triggered: triggeredBy,
 			})
 			gl.mu.Unlock()
-			log, err := runner.Exec(ctx, job)
+			jctx, jspan := telemetry.StartSpan(pctx, "job:"+job.Name)
+			jspan.SetAttr("stage", stage)
+			jspan.SetAttr("runner", runner.Name)
+			log, err := runner.Exec(jctx, job)
 			job.Log = log
 			if err != nil {
+				jspan.SetError(err)
+				jspan.SetAttr("status", string(JobFailed))
+				jspan.End()
 				job.Status = JobFailed
 				job.Log += "\nerror: " + err.Error()
 				failed = true
 				continue
 			}
+			jspan.SetAttr("status", string(JobSuccess))
+			jspan.End()
 			job.Status = JobSuccess
 		}
 		if failed {

@@ -3,12 +3,27 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"repro/internal/ci"
+	"repro/internal/engine"
 	"repro/internal/metricsdb"
+	"repro/internal/telemetry"
 )
+
+// ExperimentFailuresError is the typed error a CI job (or CLI run)
+// returns when the matrix finished but some experiments failed. It
+// carries the engine's partial report so callers can inspect exactly
+// which experiments failed instead of parsing an error string.
+type ExperimentFailuresError struct {
+	Report *engine.Report
+}
+
+func (e *ExperimentFailuresError) Error() string {
+	return fmt.Sprintf("%d experiments failed", e.Report.Failed)
+}
 
 // BenchparkCIYAML is the .gitlab-ci.yml a Benchpark deployment uses:
 // one build+bench job per participating site (Table 1 row 6:
@@ -74,36 +89,40 @@ func NewAutomation(bp *Benchpark, workDir string) (*Automation, error) {
 // script lines by actually running the session — the Benchpark
 // executable of Table 1 row 6. Each session runs on the experiment
 // engine under the pipeline's context, so cancelling the pipeline
-// cancels its benchmark matrices.
+// cancels its benchmark matrices. The job log is a stream of
+// structured slog records carrying the pipeline's span ID, so CI
+// output correlates with the run's trace.
 func (a *Automation) jobExecutor(workDir string) ci.JobExecutor {
 	return func(ctx context.Context, job *ci.CIJob) (string, error) {
-		var log strings.Builder
+		var buf strings.Builder
+		log := telemetry.SpanLogger(ctx, telemetry.NewLogger(&buf, slog.LevelInfo)).
+			With("job", job.Name)
 		for _, line := range job.Script {
 			fields := strings.Fields(line)
 			if len(fields) != 4 || fields[0] != "benchpark" {
-				fmt.Fprintf(&log, "$ %s\n(skipped: not a benchpark invocation)\n", line)
+				log.Info("skipped: not a benchpark invocation", "line", line)
 				continue
 			}
 			suite, system, wsName := fields[1], fields[2], fields[3]
 			dir, err := os.MkdirTemp(workDir, wsName+"-*")
 			if err != nil {
-				return log.String(), err
+				return buf.String(), err
 			}
 			sess, err := a.Benchpark.Setup(suite, system, dir)
 			if err != nil {
-				return log.String(), err
+				return buf.String(), err
 			}
-			rep, _, err := sess.Run(ctx, RunOptions{})
+			rep, erep, err := sess.Run(ctx, RunOptions{})
 			if err != nil {
-				return log.String(), err
+				return buf.String(), err
 			}
-			fmt.Fprintf(&log, "$ %s\n%d experiments: %d succeeded, %d failed\n",
-				line, rep.Total, rep.Succeeded, rep.Failed)
+			log.Info("benchpark run finished", "line", line,
+				"experiments", rep.Total, "succeeded", rep.Succeeded, "failed", rep.Failed)
 			if rep.Failed > 0 {
-				return log.String(), fmt.Errorf("%d experiments failed", rep.Failed)
+				return buf.String(), &ExperimentFailuresError{Report: erep}
 			}
 		}
-		return log.String(), nil
+		return buf.String(), nil
 	}
 }
 

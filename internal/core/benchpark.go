@@ -23,6 +23,7 @@ import (
 	"repro/internal/ramble"
 	"repro/internal/scheduler"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 	"repro/internal/thicket"
 )
 
@@ -120,7 +121,11 @@ func (bp *Benchpark) Setup(suite, systemName, workspaceDir string) (*Session, er
 // each named environment concretizes together and installs, keeping
 // the lockfile for provenance, with cancellation propagated through
 // the install engine's worker pool.
-func (s *Session) installSoftwareContext(ctx context.Context, envName string, specs []string) error {
+func (s *Session) installSoftwareContext(ctx context.Context, envName string, specs []string) (err error) {
+	ctx, span := telemetry.StartSpan(ctx, "env:"+envName)
+	span.SetInt("specs", len(specs))
+	defer span.End()
+	defer func() { span.SetError(err) }()
 	e := env.New(envName)
 	for _, str := range specs {
 		if err := e.Add(str); err != nil {
@@ -320,8 +325,16 @@ func (s *Session) RunAllBatched() (*ramble.AnalysisReport, error) {
 // experiments in the analysis and as typed errors in the engine
 // report.
 func (s *Session) Run(ctx context.Context, o RunOptions) (*ramble.AnalysisReport, *engine.Report, error) {
+	ctx, span := telemetry.StartSpan(ctx, "session")
+	span.SetAttr("suite", s.Suite)
+	span.SetAttr("system", s.System.Name)
+	telemetry.Log(ctx).Info("session start", "suite", s.Suite, "system", s.System.Name)
 	r := &sessionRunner{s: s, batched: o.Batched}
 	erep, err := engine.Run(ctx, r, engine.Options{Jobs: o.Jobs, Timeout: o.Timeout})
+	span.SetError(err)
+	span.End()
+	telemetry.Log(ctx).Info("session done",
+		"executed", erep.Executed, "failed", erep.Failed, "cancelled", erep.Cancelled)
 	return r.analysis, erep, err
 }
 

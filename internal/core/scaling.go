@@ -11,6 +11,7 @@ import (
 	"repro/internal/hpcsim"
 	"repro/internal/metricsdb"
 	"repro/internal/ramble"
+	"repro/internal/telemetry"
 	"repro/internal/thicket"
 )
 
@@ -53,7 +54,12 @@ func (st *ScalingStudy) Run(bp *Benchpark) (*StudyResult, error) {
 // model. The kernels run in parallel; measurements, thicket profiles
 // and metrics records are committed sequentially in sweep order, so
 // the result is identical to the sequential study.
-func (st *ScalingStudy) RunContext(ctx context.Context, bp *Benchpark, jobs int) (*StudyResult, error) {
+func (st *ScalingStudy) RunContext(ctx context.Context, bp *Benchpark, jobs int) (res *StudyResult, err error) {
+	ctx, root := telemetry.StartSpan(ctx, "scaling.study")
+	root.SetAttr("benchmark", st.Benchmark)
+	root.SetAttr("workload", st.Workload)
+	defer root.End()
+	defer func() { root.SetError(err) }()
 	if len(st.Scales) < 3 {
 		return nil, fmt.Errorf("benchpark: scaling study needs >=3 scales")
 	}
@@ -84,9 +90,15 @@ func (st *ScalingStudy) RunContext(ctx context.Context, bp *Benchpark, jobs int)
 		}
 	}
 
-	// Concurrent measurement: each kernel run is independent.
-	outs, errs := engine.Map(ctx, jobs, len(points), func(ctx context.Context, i int) (*bench.Output, error) {
-		p := points[i].p
+	// Concurrent measurement: each kernel run is independent. Every
+	// point gets its own span under the study root (the closure's ctx
+	// shares the root ctx's cancellation, so deriving from ctx here
+	// nests correctly).
+	outs, errs := engine.Map(ctx, jobs, len(points), func(_ context.Context, i int) (*bench.Output, error) {
+		pt := points[i]
+		_, span := telemetry.StartSpan(ctx, fmt.Sprintf("point:p=%d,rep=%d", pt.p, pt.rep))
+		defer span.End()
+		p := pt.p
 		vars := map[string]string{}
 		for k, v := range st.Vars {
 			vars[k] = v
@@ -97,10 +109,12 @@ func (st *ScalingStudy) RunContext(ctx context.Context, bp *Benchpark, jobs int)
 			}
 		}
 		vars["workload"] = st.Workload
-		return b.Run(bench.Params{
+		out, rerr := b.Run(bench.Params{
 			System: st.System, Ranks: p, RanksPerNode: rpn,
 			Vars: vars,
 		})
+		span.SetError(rerr)
+		return out, rerr
 	})
 
 	// Sequential commit in sweep order keeps the thicket and metrics

@@ -1,0 +1,78 @@
+package dashboard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/extrap"
+)
+
+func TestScalingSVGEmptySeries(t *testing.T) {
+	got := ScalingSVG("empty", nil, nil)
+	want := `<svg xmlns="http://www.w3.org/2000/svg"/>`
+	if got != want {
+		t.Fatalf("empty series: got %q, want %q", got, want)
+	}
+}
+
+// A single measurement hits both degenerate-range paths (maxP == minP
+// and, with a zero value, maxV == 0); the plot must still render
+// finite coordinates rather than divide by zero.
+func TestScalingSVGSinglePoint(t *testing.T) {
+	data := []extrap.Measurement{{P: 64, Value: 0}}
+	svg := ScalingSVG("one point", data, nil)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("not a closed SVG document:\n%s", svg)
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Fatalf("single measurement rendered no dot:\n%s", svg)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatalf("degenerate ranges produced non-finite coordinates:\n%s", svg)
+	}
+}
+
+func TestScalingSVGMultiSeriesWithModel(t *testing.T) {
+	data := []extrap.Measurement{
+		{P: 64, Value: 1.2},
+		{P: 256, Value: 2.9},
+		{P: 1024, Value: 6.1},
+		{P: 4096, Value: 13.0},
+	}
+	model, err := extrap.Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := ScalingSVG("scaling", data, model)
+	if got := strings.Count(svg, "<circle"); got != len(data) {
+		t.Fatalf("want %d dots, got %d", len(data), got)
+	}
+	if !strings.Contains(svg, "<path") {
+		t.Fatal("model supplied but no model line rendered")
+	}
+	if !strings.Contains(svg, ">scaling<") {
+		t.Fatal("title missing from plot")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatalf("non-finite coordinates in plot:\n%s", svg)
+	}
+
+	// Without a model the line and caption disappear but dots stay.
+	bare := ScalingSVG("scaling", data, nil)
+	if strings.Contains(bare, "<path") {
+		t.Fatal("no model supplied but a model line rendered")
+	}
+	if got := strings.Count(bare, "<circle"); got != len(data) {
+		t.Fatalf("want %d dots without model, got %d", len(data), got)
+	}
+}
+
+func TestScalingSVGEscapesTitle(t *testing.T) {
+	svg := ScalingSVG(`a<b & "c"`, []extrap.Measurement{{P: 1, Value: 1}}, nil)
+	if strings.Contains(svg, `a<b`) {
+		t.Fatal("title not XML-escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatalf("escaped title missing:\n%s", svg)
+	}
+}

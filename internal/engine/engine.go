@@ -26,6 +26,14 @@
 // generator; cmd/benchlint's determinism analyzer enforces this, and
 // core's TestRunRepeatableByteIdentical pins the observable
 // consequence (re-running a matrix is byte-identical).
+//
+// Observability: when the context carries a telemetry.Tracer, Run
+// opens a span per stage and per experiment (execute and commit),
+// observes stage latencies and queue waits into histograms, tracks
+// in-flight jobs in a gauge, and summarizes stage time in
+// Report.Timings. All timing flows through the tracer's injected
+// clock — the engine itself still never reads real time, so the
+// determinism guarantee survives with telemetry enabled.
 package engine
 
 import (
@@ -34,8 +42,11 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Stage identifies one phase of the experiment lifecycle.
@@ -140,10 +151,48 @@ type Report struct {
 	// commit, analyze, or cancellation); nil when the run finished,
 	// even with partial experiment failures.
 	Err *StageError
+	// Timings summarizes where the run's time went, one entry per
+	// stage that ran, in stage order. Span counts are always
+	// populated; the seconds columns are nonzero only when the run's
+	// context carried a telemetry.Tracer with a non-fixed clock.
+	Timings []StageTiming
+}
+
+// StageTiming aggregates the telemetry spans of one lifecycle stage.
+type StageTiming struct {
+	Stage Stage
+	// Count is the number of spans the stage recorded: 1 for the
+	// matrix-level stages, one per executed experiment for the
+	// execute and commit stages.
+	Count int
+	// Seconds sums the inclusive span durations; MaxSeconds is the
+	// slowest single span.
+	Seconds    float64
+	MaxSeconds float64
+	// WallSeconds is the stage's elapsed wall time: for the execute
+	// stage it is the phase duration (less than Seconds when the
+	// worker pool overlapped experiments), for sequential stages it
+	// equals Seconds.
+	WallSeconds float64
 }
 
 // Succeeded reports the number of cleanly executed experiments.
 func (r *Report) Succeeded() int { return r.Executed - r.Failed }
+
+// TimingSummary renders the per-stage timing table (empty string
+// when the run recorded no stages).
+func (r *Report) TimingSummary() string {
+	if len(r.Timings) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %6s %10s %10s %10s\n", "stage", "spans", "total(s)", "max(s)", "wall(s)")
+	for _, t := range r.Timings {
+		fmt.Fprintf(&b, "%-8s %6d %10.3f %10.3f %10.3f\n",
+			t.Stage, t.Count, t.Seconds, t.MaxSeconds, t.WallSeconds)
+	}
+	return b.String()
+}
 
 // resolveJobs applies the Options.Jobs default and cap.
 func resolveJobs(jobs, n int) int {
@@ -159,10 +208,43 @@ func resolveJobs(jobs, n int) int {
 	return jobs
 }
 
+// timingAcc accumulates per-stage span statistics sequentially; the
+// engine folds concurrent execute durations in after the pool drains,
+// so the accumulator itself needs no lock.
+type timingAcc [StageAnalyze + 1]StageTiming
+
+func (a *timingAcc) note(st Stage, secs float64) {
+	t := &a[st]
+	t.Count++
+	t.Seconds += secs
+	if secs > t.MaxSeconds {
+		t.MaxSeconds = secs
+	}
+	t.WallSeconds += secs
+}
+
+// timings returns the entries for stages that ran, in stage order.
+func (a *timingAcc) timings() []StageTiming {
+	var out []StageTiming
+	for st := StageSetup; st <= StageAnalyze; st++ {
+		if a[st].Count == 0 {
+			continue
+		}
+		t := a[st]
+		t.Stage = st
+		out = append(out, t)
+	}
+	return out
+}
+
 // Run drives a Runner through the full lifecycle. It returns the
 // Report and, for fatal failures (setup/install/commit/analyze errors
 // or cancellation), the terminal error; per-experiment execute
 // failures are recorded in the Report without failing the run.
+//
+// When ctx carries a telemetry.Tracer, Run opens an "engine.run" root
+// span with one child span per matrix stage and per experiment; all
+// timestamps come from the tracer's clock, never from the engine.
 func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -170,6 +252,22 @@ func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 		defer cancel()
 	}
 	rep := &Report{Label: r.Label()}
+	met := telemetry.FromContext(ctx).Metrics()
+	var acc timingAcc
+
+	ctx, root := telemetry.StartSpan(ctx, "engine.run")
+	root.SetAttr("label", rep.Label)
+	defer root.End()
+	defer func() {
+		rep.Timings = acc.timings()
+		root.SetInt("jobs", rep.Jobs)
+		root.SetInt("total", rep.Total)
+		root.SetInt("executed", rep.Executed)
+		root.SetInt("failed", rep.Failed)
+		if rep.Err != nil {
+			root.SetError(rep.Err)
+		}
+	}()
 
 	fatal := func(st Stage, err error) (*Report, error) {
 		rep.Err = &StageError{Stage: st, System: rep.Label, Err: err}
@@ -188,7 +286,14 @@ func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 			rep.Cancelled = true
 			return fatal(st.stage, err)
 		}
-		if err := st.fn(ctx); err != nil {
+		sctx, span := telemetry.StartSpan(ctx, st.stage.String())
+		err := st.fn(sctx)
+		span.SetError(err)
+		span.End()
+		secs := span.Duration().Seconds()
+		acc.note(st.stage, secs)
+		stageSeconds(met, st.stage).Observe(secs)
+		if err != nil {
 			return fatal(st.stage, err)
 		}
 	}
@@ -197,18 +302,52 @@ func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 	rep.Total = len(names)
 	rep.Jobs = resolveJobs(opts.Jobs, len(names))
 
-	// Execute stage: bounded worker pool over the matrix.
+	// Execute stage: bounded worker pool over the matrix. Each
+	// experiment gets its own span; queue wait (dispatch delay behind
+	// the pool) and in-flight worker count feed the registry. Span
+	// durations land in a per-index slice — no lock — and fold into
+	// the accumulator after the pool drains.
+	phaseCtx, phase := telemetry.StartSpan(ctx, StageExecute.String())
+	phaseStart := phase.StartTime()
+	execSecs := make([]float64, len(names))
+	queueWait := met.Histogram("engine_queue_wait_seconds")
+	inflight := met.Gauge("engine_inflight_jobs")
 	executed := make([]bool, len(names))
-	_, errs := Map(ctx, rep.Jobs, len(names), func(ctx context.Context, i int) (struct{}, error) {
+	_, errs := Map(ctx, rep.Jobs, len(names), func(_ context.Context, i int) (struct{}, error) {
 		executed[i] = true
-		return struct{}{}, r.Execute(ctx, i)
+		// phaseCtx shares ctx's cancellation chain; deriving the
+		// experiment span from it nests spans without detaching
+		// Execute from the run's cancellation.
+		sctx, span := telemetry.StartSpan(phaseCtx, names[i])
+		queueWait.Observe(span.StartTime().Sub(phaseStart).Seconds())
+		inflight.Add(1)
+		err := r.Execute(sctx, i)
+		inflight.Add(-1)
+		span.SetError(err)
+		span.End()
+		execSecs[i] = span.Duration().Seconds()
+		return struct{}{}, err
 	})
+	phase.End()
+	execHist := stageSeconds(met, StageExecute)
+	for i := range names {
+		if !executed[i] {
+			continue
+		}
+		acc.note(StageExecute, execSecs[i])
+		execHist.Observe(execSecs[i])
+	}
+	if acc[StageExecute].Count > 0 {
+		acc[StageExecute].WallSeconds = phase.Duration().Seconds()
+	}
 
 	// Sorted merge: commit results in experiment index order, however
 	// the concurrent executions interleaved. Commits still run for
 	// already-executed experiments after a cancellation — under a
 	// detached context — so the partial report reflects real state.
 	commitCtx := context.WithoutCancel(ctx)
+	cphaseCtx, cphase := telemetry.StartSpan(commitCtx, StageCommit.String())
+	commitHist := stageSeconds(met, StageCommit)
 	for i, name := range names {
 		if !executed[i] {
 			cause := ctx.Err()
@@ -228,10 +367,22 @@ func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 				Stage: StageExecute, Experiment: name, System: rep.Label, Err: errs[i],
 			})
 		}
-		if err := r.Commit(commitCtx, i); err != nil {
+		sctx, span := telemetry.StartSpan(cphaseCtx, name)
+		err := r.Commit(sctx, i)
+		span.SetError(err)
+		span.End()
+		secs := span.Duration().Seconds()
+		acc.note(StageCommit, secs)
+		commitHist.Observe(secs)
+		if err != nil {
+			cphase.End()
 			rep.Err = &StageError{Stage: StageCommit, Experiment: name, System: rep.Label, Err: err}
 			return rep, rep.Err
 		}
+	}
+	cphase.End()
+	if acc[StageCommit].Count > 0 {
+		acc[StageCommit].WallSeconds = cphase.Duration().Seconds()
 	}
 	if rep.Cancelled {
 		cause := ctx.Err()
@@ -245,10 +396,22 @@ func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 		rep.Cancelled = true
 		return fatal(StageAnalyze, err)
 	}
-	if err := r.Analyze(ctx); err != nil {
-		return fatal(StageAnalyze, err)
+	actx, aspan := telemetry.StartSpan(ctx, StageAnalyze.String())
+	aerr := r.Analyze(actx)
+	aspan.SetError(aerr)
+	aspan.End()
+	asecs := aspan.Duration().Seconds()
+	acc.note(StageAnalyze, asecs)
+	stageSeconds(met, StageAnalyze).Observe(asecs)
+	if aerr != nil {
+		return fatal(StageAnalyze, aerr)
 	}
 	return rep, nil
+}
+
+// stageSeconds returns the labeled stage-latency histogram.
+func stageSeconds(met *telemetry.Registry, st Stage) telemetry.Histogram {
+	return met.Histogram(fmt.Sprintf("engine_stage_seconds{stage=%q}", st))
 }
 
 // Map runs fn over the indices [0, n) on a bounded worker pool of

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+var traceEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// tracedRun executes a mock matrix under a FixedClock tracer and
+// returns the report plus the trace snapshot.
+func tracedRun(t *testing.T, m *mockRunner, jobs int) (*Report, *telemetry.Trace) {
+	t.Helper()
+	tr := telemetry.New(telemetry.FixedClock{T: traceEpoch})
+	ctx := telemetry.WithTracer(context.Background(), tr)
+	rep, _ := Run(ctx, m, Options{Jobs: jobs})
+	return rep, tr.Snapshot()
+}
+
+// spanCounts tallies spans by the stage-level path segment under
+// engine.run ("engine.run/execute/exp-001" → "execute").
+func spanCounts(trace *telemetry.Trace) (stages map[string]int, experiments map[string]int, errored int) {
+	stages = map[string]int{}
+	experiments = map[string]int{}
+	for _, s := range trace.Spans {
+		parts := strings.Split(s.Path, "/")
+		if len(parts) < 2 || parts[0] != "engine.run" {
+			continue
+		}
+		if len(parts) == 2 {
+			stages[parts[1]]++
+		} else {
+			experiments[parts[1]]++
+			if s.Error != "" {
+				errored++
+			}
+		}
+	}
+	return stages, experiments, errored
+}
+
+// The trace must reconcile exactly with the report: one execute span
+// per executed experiment, errored execute spans matching Failed, one
+// commit span per commit, one span per matrix-level stage.
+func TestTraceReconcilesWithReport(t *testing.T) {
+	m := &mockRunner{label: "traced@test", n: 12, execErr: func(i int) error {
+		if i%4 == 0 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	}}
+	rep, trace := tracedRun(t, m, 4)
+	if rep.Executed != 12 || rep.Failed != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	stages, experiments, errored := spanCounts(trace)
+	for _, st := range []string{"setup", "install", "execute", "commit", "analyze"} {
+		if stages[st] != 1 {
+			t.Fatalf("stage %s: want 1 span, got %d (stages=%v)", st, stages[st], stages)
+		}
+	}
+	if experiments["execute"] != rep.Executed {
+		t.Fatalf("execute spans = %d, want Executed = %d", experiments["execute"], rep.Executed)
+	}
+	if experiments["commit"] != rep.Executed {
+		t.Fatalf("commit spans = %d, want %d", experiments["commit"], rep.Executed)
+	}
+	if errored != rep.Failed {
+		t.Fatalf("errored execute spans = %d, want Failed = %d", errored, rep.Failed)
+	}
+
+	// The root span's attributes restate the report.
+	var root *telemetry.SpanRecord
+	for i := range trace.Spans {
+		if trace.Spans[i].ID == "engine.run" {
+			root = &trace.Spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatal("no engine.run root span")
+	}
+	if root.Attrs["executed"] != "12" || root.Attrs["failed"] != "3" || root.Attrs["label"] != "traced@test" {
+		t.Fatalf("root attrs = %v", root.Attrs)
+	}
+}
+
+// Two identical concurrent runs under a FixedClock export
+// byte-identical traces — the determinism guarantee with telemetry on.
+func TestTraceByteIdenticalAcrossRuns(t *testing.T) {
+	run := func() string {
+		m := &mockRunner{label: "det@test", n: 16, execHook: func(ctx context.Context, i int) {
+			time.Sleep(time.Duration(16-i) * time.Millisecond) // adversarial interleaving
+		}}
+		_, trace := tracedRun(t, m, 8)
+		src, err := trace.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("traces differ across identical runs:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestReportTimings(t *testing.T) {
+	m := &mockRunner{label: "timed@test", n: 6}
+	rep, _ := tracedRun(t, m, 3)
+	byStage := map[Stage]StageTiming{}
+	for _, tm := range rep.Timings {
+		byStage[tm.Stage] = tm
+	}
+	for _, st := range []Stage{StageSetup, StageInstall, StageAnalyze} {
+		if byStage[st].Count != 1 {
+			t.Fatalf("stage %s count = %d, timings = %+v", st, byStage[st].Count, rep.Timings)
+		}
+	}
+	if byStage[StageExecute].Count != 6 || byStage[StageCommit].Count != 6 {
+		t.Fatalf("execute/commit counts: %+v", rep.Timings)
+	}
+	// Timings come out in stage order.
+	for i := 1; i < len(rep.Timings); i++ {
+		if rep.Timings[i-1].Stage >= rep.Timings[i].Stage {
+			t.Fatalf("timings out of stage order: %+v", rep.Timings)
+		}
+	}
+	sum := rep.TimingSummary()
+	for _, want := range []string{"stage", "execute", "commit", "analyze"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// Without a tracer the engine must behave exactly as before: no
+// timings with nonzero counts is fine, but the report still works and
+// nothing panics on the nil-span path.
+func TestRunWithoutTracer(t *testing.T) {
+	m := &mockRunner{label: "plain@test", n: 4}
+	rep, err := Run(context.Background(), m, Options{Jobs: 2})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep.Executed != 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// Stage histograms and the queue-wait histogram land in the registry.
+func TestEngineMetrics(t *testing.T) {
+	m := &mockRunner{label: "metrics@test", n: 5}
+	_, trace := tracedRun(t, m, 2)
+	h, ok := trace.Metrics.Histograms[`engine_stage_seconds{stage="execute"}`]
+	if !ok {
+		t.Fatalf("missing execute stage histogram; have %v", trace.Metrics.Histograms)
+	}
+	if h.Count != 5 {
+		t.Fatalf("execute observations = %d, want 5", h.Count)
+	}
+	qw, ok := trace.Metrics.Histograms["engine_queue_wait_seconds"]
+	if !ok || qw.Count != 5 {
+		t.Fatalf("queue wait observations = %+v", qw)
+	}
+	// In-flight gauge winds back down to zero.
+	if g := trace.Metrics.Gauges["engine_inflight_jobs"]; g != 0 {
+		t.Fatalf("inflight gauge = %v, want 0 after the run", g)
+	}
+}

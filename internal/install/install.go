@@ -24,6 +24,7 @@ import (
 	"repro/internal/buildcache"
 	"repro/internal/pkgrepo"
 	"repro/internal/spec"
+	"repro/internal/telemetry"
 )
 
 // Record is one installed package.
@@ -242,8 +243,13 @@ func (inst *Installer) Install(root *spec.Spec) (*Report, error) {
 // InstallContext is Install with cancellation: the context is checked
 // before scheduling and between node executions, so a cancelled
 // experiment engine does not keep building a deep DAG. Already
-// completed node installs stay in the database.
-func (inst *Installer) InstallContext(ctx context.Context, root *spec.Spec) (*Report, error) {
+// completed node installs stay in the database. When the context
+// carries a tracer, the install records a span and mirrors its cache
+// outcome into install_cache_hits_total / install_cache_misses_total.
+func (inst *Installer) InstallContext(ctx context.Context, root *spec.Spec) (rep *Report, err error) {
+	ctx, span := telemetry.StartSpan(ctx, "install:"+root.Name)
+	defer span.End()
+	defer func() { span.SetError(err) }()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -340,6 +346,16 @@ func (inst *Installer) InstallContext(ctx context.Context, root *spec.Spec) (*Re
 		}
 		return a.Name < b.Name
 	})
+
+	// Cache effectiveness: a fetch is a hit, a source build with a
+	// configured cache is a miss (no cache at all counts neither).
+	if inst.Cache != nil {
+		met := telemetry.FromContext(ctx).Metrics()
+		met.Counter("install_cache_hits_total").Add(float64(report.Count(FetchedFromCache)))
+		met.Counter("install_cache_misses_total").Add(float64(report.Count(Built)))
+	}
+	span.SetInt("nodes", len(report.Results))
+	span.SetAttr("makespan_s", fmt.Sprintf("%.2f", report.Makespan))
 	return report, nil
 }
 

@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Registry holds a run's counters, gauges and histograms. All
+// instruments are nil-safe: instruments obtained from a nil registry
+// silently drop observations, so instrumented code never branches on
+// whether telemetry is enabled.
+//
+// Metric names follow the Prometheus convention and may carry a label
+// set inline: `engine_stage_seconds{stage="execute"}`. The text
+// exposition splits the label block back out (see export.go).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*histState
+}
+
+type histState struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []int64   // non-cumulative per-bound counts
+	over   int64     // observations above the last bound
+	sum    float64
+	n      int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]float64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*histState{},
+	}
+}
+
+// DefaultLatencyBuckets are the histogram bounds (seconds) used when
+// a histogram is registered without explicit bounds.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500,
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	r    *Registry
+	name string
+}
+
+// Counter returns the named counter handle, creating it on first use.
+func (r *Registry) Counter(name string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.counters[name]; !ok {
+		r.counters[name] = 0
+	}
+	return Counter{r: r, name: name}
+}
+
+// Add increments the counter; negative deltas are ignored.
+func (c Counter) Add(v float64) {
+	if c.r == nil || v < 0 {
+		return
+	}
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	c.r.counters[c.name] += v
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	r    *Registry
+	name string
+}
+
+// Gauge returns the named gauge handle, creating it on first use.
+func (r *Registry) Gauge(name string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gauges[name]; !ok {
+		r.gauges[name] = 0
+	}
+	return Gauge{r: r, name: name}
+}
+
+// Set replaces the gauge's value.
+func (g Gauge) Set(v float64) {
+	if g.r == nil {
+		return
+	}
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	g.r.gauges[g.name] = v
+}
+
+// Add shifts the gauge's value by delta (negative to decrement).
+func (g Gauge) Add(delta float64) {
+	if g.r == nil {
+		return
+	}
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	g.r.gauges[g.name] += delta
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	r    *Registry
+	name string
+}
+
+// Histogram returns the named histogram handle, registering it with
+// the given upper bounds on first use (DefaultLatencyBuckets when
+// none are supplied). Bounds are fixed at registration; later calls
+// with different bounds reuse the original.
+func (r *Registry) Histogram(name string, bounds ...float64) Histogram {
+	if r == nil {
+		return Histogram{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.hists[name]; !ok {
+		if len(bounds) == 0 {
+			bounds = DefaultLatencyBuckets
+		}
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		r.hists[name] = &histState{bounds: bs, counts: make([]int64, len(bs))}
+	}
+	return Histogram{r: r, name: name}
+}
+
+// Observe records one value.
+func (h Histogram) Observe(v float64) {
+	if h.r == nil || math.IsNaN(v) {
+		return
+	}
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	st := h.r.hists[h.name]
+	if st == nil {
+		return
+	}
+	st.sum += v
+	st.n++
+	for i, b := range st.bounds {
+		if v <= b {
+			st.counts[i]++
+			return
+		}
+	}
+	st.over++
+}
+
+// Bucket is one cumulative histogram bucket: observations <= LE.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a frozen histogram: cumulative finite buckets
+// plus the overall sum and count (the count includes observations
+// above the last bound — the implicit +Inf bucket).
+type HistogramSnapshot struct {
+	Buckets []Bucket `json:"buckets"`
+	Sum     float64  `json:"sum"`
+	Count   int64    `json:"count"`
+}
+
+// MetricsSnapshot is a frozen registry.
+type MetricsSnapshot struct {
+	Counters   map[string]float64           `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry. Nil-safe: a nil registry yields an
+// empty snapshot. Map keys marshal sorted, so snapshots of identical
+// runs are byte-identical in JSON.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	var snap MetricsSnapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]float64, len(r.counters))
+		for k, v := range r.counters {
+			snap.Counters[k] = v
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(r.gauges))
+		for k, v := range r.gauges {
+			snap.Gauges[k] = v
+		}
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for k, st := range r.hists {
+			hs := HistogramSnapshot{Sum: st.sum, Count: st.n}
+			cum := int64(0)
+			for i, b := range st.bounds {
+				cum += st.counts[i]
+				hs.Buckets = append(hs.Buckets, Bucket{LE: b, Count: cum})
+			}
+			snap.Histograms[k] = hs
+		}
+	}
+	return snap
+}

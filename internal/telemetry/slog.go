@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger returns a slog.Logger writing logfmt-style text records
+// to w at the given level, with the timestamp attribute dropped so
+// log output is deterministic (span and event timing belongs to the
+// tracer, which owns the clock — not to the log stream).
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	})
+	return slog.New(h)
+}
+
+// ParseLevel resolves a --log-level flag value.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+type loggerKey struct{}
+
+// WithLogger returns a context carrying the logger for Log.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// Log returns the context's logger with the current span's ID
+// attached as a `span` attribute, so structured records correlate
+// with the trace. Without a logger in the context it returns a
+// discard logger; without a span, the bare logger.
+func Log(ctx context.Context) *slog.Logger {
+	l, _ := ctx.Value(loggerKey{}).(*slog.Logger)
+	if l == nil {
+		return discardLogger
+	}
+	return SpanLogger(ctx, l)
+}
+
+// SpanLogger returns base with the context's current span ID attached
+// (base unchanged when no span is open).
+func SpanLogger(ctx context.Context, base *slog.Logger) *slog.Logger {
+	if s := Current(ctx); s != nil {
+		return base.With("span", s.ID())
+	}
+	return base
+}
+
+// discardHandler drops every record (slog.DiscardHandler needs a
+// newer toolchain than go.mod promises).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var discardLogger = slog.New(discardHandler{})

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewLoggerDropsTimestamps(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, slog.LevelInfo)
+	l.Info("hello", "k", "v")
+	l.Debug("hidden")
+	got := buf.String()
+	if strings.Contains(got, "time=") {
+		t.Fatalf("log output carries a timestamp: %q", got)
+	}
+	if !strings.Contains(got, "msg=hello") || !strings.Contains(got, "k=v") {
+		t.Fatalf("missing record content: %q", got)
+	}
+	if strings.Contains(got, "hidden") {
+		t.Fatalf("debug record leaked at info level: %q", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"Error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level must error")
+	}
+}
+
+func TestLogAttachesSpanID(t *testing.T) {
+	var buf strings.Builder
+	base := NewLogger(&buf, slog.LevelInfo)
+	tr := New(FixedClock{T: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)})
+	ctx := WithTracer(WithLogger(context.Background(), base), tr)
+
+	Log(ctx).Info("no span yet")
+	sctx, s := StartSpan(ctx, "work")
+	Log(sctx).Info("inside")
+	s.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 records, got %d: %q", len(lines), buf.String())
+	}
+	if strings.Contains(lines[0], "span=") {
+		t.Fatalf("record without a span carries a span attr: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "span=work") {
+		t.Fatalf("record inside the span is missing span=work: %q", lines[1])
+	}
+}
+
+func TestLogWithoutLoggerDiscards(t *testing.T) {
+	// Must not panic, must not write anywhere.
+	Log(context.Background()).Info("into the void")
+	l := Log(context.Background())
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("discard logger must report disabled at every level")
+	}
+}
+
+func TestSpanLoggerWithoutSpan(t *testing.T) {
+	var buf strings.Builder
+	base := NewLogger(&buf, slog.LevelInfo)
+	if got := SpanLogger(context.Background(), base); got != base {
+		t.Fatal("SpanLogger without a span must return the base logger")
+	}
+}

@@ -5,7 +5,8 @@
 # and then the race-detector pass over the packages that do real
 # concurrency: the execution engine, the session/scaling orchestration
 # built on it, the parallel installer, the concurrency-safe build
-# cache, and benchlint's concurrent package loader.
+# cache, the telemetry layer (spans and metrics are recorded from the
+# engine's worker pool), and benchlint's concurrent package loader.
 #
 #   ./scripts/verify.sh
 set -eu
@@ -24,6 +25,6 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/analysis
+go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/telemetry ./internal/analysis
 
 echo "==> verify OK"
