@@ -14,6 +14,9 @@
 //	benchpark components          print Table 1 (component matrix)
 //	benchpark figure14 [p ...]    reproduce the Figure 14 Extra-P model
 //	benchpark ci-demo             run the Figure 6 automation loop
+//	benchpark serve               serve the results federation API
+//	benchpark push                run a suite and push results to a server
+//	benchpark history             query a server for a FOM's history
 package main
 
 import (
@@ -230,6 +233,12 @@ func run(rawArgs []string) error {
 		return provisionCmd(args[1:])
 	case "report":
 		return reportCmd(args[1:])
+	case "serve":
+		return serveCmd(args[1:], &opts)
+	case "push":
+		return pushCmd(args[1:], &opts)
+	case "history":
+		return historyCmd(args[1:], &opts)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -252,6 +261,12 @@ func usage() {
   benchpark archive <suite> <system> <out.tar.gz>
   benchpark provision <name> <instance-type> <nodes> [suite]
   benchpark report [out.md] [-full]
+  benchpark serve [--addr A] [--data DIR]
+                                       run the results federation service
+  benchpark push <suite> <system> <server-url>
+                                       run a suite and push its results
+  benchpark history <server-url> <benchmark> <fom> [--system S]
+            [--window N] [--threshold T] print a FOM series + regressions
 
 global flags (accepted anywhere, --flag value or --flag=value):
   --jobs N         engine worker-pool width (default: number of CPUs)

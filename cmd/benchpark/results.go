@@ -1,0 +1,224 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/metricsdb"
+	"repro/internal/resultsd"
+	"repro/internal/resultstore"
+	"repro/internal/telemetry"
+)
+
+// serveCmd implements `benchpark serve [--addr A] [--data DIR]`: open
+// (or create) a durable result store and serve the resultsd
+// federation API over it. The process runs until killed; the store's
+// WAL makes that safe at any instant.
+func serveCmd(args []string, opts *execOpts) error {
+	addr := "127.0.0.1:8321"
+	dataDir := "benchpark-results"
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "--addr", "-addr":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--addr needs a host:port")
+			}
+			addr = args[i+1]
+			i++
+		case "--data", "-data":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--data needs a directory")
+			}
+			dataDir = args[i+1]
+			i++
+		default:
+			return fmt.Errorf("serve: unknown argument %q", args[i])
+		}
+	}
+	store, err := resultstore.Open(dataDir, resultstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	// The server gets its own wall-clock tracer so request metrics
+	// accrue for the life of the process; --trace-out additionally
+	// dumps them when the listener stops.
+	tracer := telemetry.New(nil)
+	srv := resultsd.New(store, tracer)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==> resultsd serving %d results on http://%s (data %s)\n",
+		store.Len(), ln.Addr(), dataDir)
+	serveErr := http.Serve(ln, srv.Handler())
+	if opts.traceOut != "" {
+		if err := writeTrace(opts.traceOut, tracer.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return serveErr
+}
+
+// pushCmd implements `benchpark push <suite> <system> <server-url>`:
+// run the suite in a scratch workspace and push the engine report's
+// results to a resultsd endpoint through the same
+// metricsdb.ResultsFromReport bridge the CI pipelines use. The ingest
+// key is derived from the result content, so re-pushing an identical
+// run is a server-side no-op.
+func pushCmd(args []string, opts *execOpts) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: benchpark push <suite> <system> <server-url>")
+	}
+	suite, system, serverURL := args[0], args[1], args[2]
+	dir, err := os.MkdirTemp("", "benchpark-push-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bp := core.New()
+	sess, err := bp.Setup(suite, system, dir)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := opts.context()
+	defer cancel()
+	ctx, err = opts.instrument(ctx)
+	if err != nil {
+		return err
+	}
+	rep, erep, err := sess.Run(ctx, core.RunOptions{Jobs: opts.jobs, Timeout: opts.timeout})
+	if ferr := opts.finish(); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return err
+	}
+	results := metricsdb.ResultsFromReport(erep, sess.Manifests(rep))
+	if len(results) == 0 {
+		return fmt.Errorf("push: %s on %s produced no publishable results (%d experiments, %d failed)",
+			suite, system, rep.Total, rep.Failed)
+	}
+	data, err := json.Marshal(results)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(data)
+	key := fmt.Sprintf("cli-%s-%s-%x", sess.Suite, system, sum[:8])
+	client := resultsd.NewClient(serverURL)
+	resp, err := client.Push(ctx, key, results)
+	if err != nil {
+		return err
+	}
+	if resp.Duplicate {
+		fmt.Printf("==> server already holds this batch (key %s); nothing pushed\n", key)
+	} else {
+		fmt.Printf("==> pushed %d results from %s@%s (key %s)\n", resp.Accepted, suite, system, key)
+	}
+	if rep.Failed > 0 {
+		fmt.Printf("==> note: %d of %d experiments failed and were not pushed\n", rep.Failed, rep.Total)
+	}
+	return nil
+}
+
+// historyCmd implements `benchpark history <server-url> <benchmark>
+// <fom> [--system S] [--workload W] [--experiment E] [--window N]
+// [--threshold T]`: fetch a FOM's series and the server-side
+// regression scan, and print them as one annotated table — the
+// "introspection into benchmark performance across systems and time"
+// view of Section 5, over the network.
+func historyCmd(args []string, opts *execOpts) error {
+	if len(args) < 3 {
+		return fmt.Errorf("usage: benchpark history <server-url> <benchmark> <fom> [--system S] [--window N] [--threshold T]")
+	}
+	serverURL, benchmark, fom := args[0], args[1], args[2]
+	f := metricsdb.Filter{Benchmark: benchmark}
+	window, threshold := 0, 0.0
+	rest := args[3:]
+	for i := 0; i < len(rest); i++ {
+		need := func() (string, error) {
+			if i+1 >= len(rest) {
+				return "", fmt.Errorf("%s needs a value", rest[i])
+			}
+			i++
+			return rest[i], nil
+		}
+		switch rest[i] {
+		case "--system", "-system":
+			v, err := need()
+			if err != nil {
+				return err
+			}
+			f.System = v
+		case "--workload", "-workload":
+			v, err := need()
+			if err != nil {
+				return err
+			}
+			f.Workload = v
+		case "--experiment", "-experiment":
+			v, err := need()
+			if err != nil {
+				return err
+			}
+			f.Experiment = v
+		case "--window", "-window":
+			v, err := need()
+			if err != nil {
+				return err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 2 {
+				return fmt.Errorf("bad window %q", v)
+			}
+			window = n
+		case "--threshold", "-threshold":
+			v, err := need()
+			if err != nil {
+				return err
+			}
+			t, err := strconv.ParseFloat(v, 64)
+			if err != nil || t <= 0 {
+				return fmt.Errorf("bad threshold %q", v)
+			}
+			threshold = t
+		default:
+			return fmt.Errorf("history: unknown argument %q", rest[i])
+		}
+	}
+	ctx, cancel := opts.context()
+	defer cancel()
+	client := resultsd.NewClient(serverURL)
+	points, err := client.Series(ctx, f, fom)
+	if err != nil {
+		return err
+	}
+	if len(points) == 0 {
+		fmt.Printf("no results for %s/%s on the server\n", benchmark, fom)
+		return nil
+	}
+	regs, err := client.Regressions(ctx, f, fom, window, threshold)
+	if err != nil {
+		return err
+	}
+	flagged := make(map[int]resultsd.RegressionRecord, len(regs))
+	for _, r := range regs {
+		flagged[r.Seq] = r
+	}
+	fmt.Printf("==> %s/%s: %d samples, %d regressions\n", benchmark, fom, len(points), len(regs))
+	fmt.Printf("%6s %14s\n", "seq", "value")
+	for _, p := range points {
+		line := fmt.Sprintf("%6d %14.6g", p.Seq, p.Value)
+		if r, ok := flagged[p.Seq]; ok {
+			line += fmt.Sprintf("   <-- REGRESSION %.2fx vs baseline %.6g", r.Ratio, r.Baseline)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}

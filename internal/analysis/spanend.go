@@ -14,7 +14,7 @@ import (
 var SpanEnd = &Analyzer{
 	Name:  "spanend",
 	Doc:   "every StartSpan has a matching End on every return path",
-	Scope: []string{"internal/engine", "internal/core", "internal/ci", "internal/install", "internal/telemetry"},
+	Scope: []string{"internal/engine", "internal/core", "internal/ci", "internal/install", "internal/telemetry", "internal/resultstore", "internal/resultsd"},
 	Run:   runSpanEnd,
 }
 

@@ -513,6 +513,55 @@ func (r *sessionRunner) Analyze(ctx context.Context) error {
 	return nil
 }
 
+// Results implements engine.ResultReporter: after a successful
+// analysis, the runner publishes every succeeded experiment's FOMs
+// with the same identity coordinates recordMetrics writes to the
+// local database. The engine attaches the slice to Report.Results,
+// which is what the federation path (metricsdb.ResultsFromReport →
+// resultsd) pushes to a shared results service.
+func (r *sessionRunner) Results() []engine.ExperimentResult {
+	if r.analysis == nil {
+		return nil
+	}
+	var out []engine.ExperimentResult
+	for _, e := range r.analysis.Experiments {
+		if e.Status != ramble.Succeeded {
+			continue
+		}
+		meta := map[string]string{
+			"n_ranks": fmt.Sprintf("%d", e.NRanks),
+			"n_nodes": fmt.Sprintf("%d", e.NNodes),
+		}
+		if !r.batched {
+			meta["n_threads"] = fmt.Sprintf("%d", e.NThreads)
+		}
+		out = append(out, engine.ExperimentResult{
+			Experiment: e.Name,
+			Benchmark:  e.App.Name,
+			Workload:   e.Workload,
+			System:     r.s.System.Name,
+			FOMs:       e.FOMs,
+			Meta:       meta,
+		})
+	}
+	return out
+}
+
+// Manifests renders the reproducibility manifest of every experiment
+// in an analysis, keyed by experiment name — the map
+// metricsdb.ResultsFromReport attaches to pushed results so a remote
+// store carries the same provenance as the local one.
+func (s *Session) Manifests(rep *ramble.AnalysisReport) map[string]string {
+	out := map[string]string{}
+	if rep == nil {
+		return out
+	}
+	for _, e := range rep.Experiments {
+		out[e.Name] = s.manifest(e)
+	}
+	return out
+}
+
 // recordMetrics streams succeeded experiments into the shared metrics
 // database. The batched path historically omits the n_threads
 // dimension (batch scripts do not pin threads); includeThreads keeps

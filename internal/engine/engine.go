@@ -156,6 +156,35 @@ type Report struct {
 	// populated; the seconds columns are nonzero only when the run's
 	// context carried a telemetry.Tracer with a non-fixed clock.
 	Timings []StageTiming
+	// Results holds the per-experiment outcomes the Runner chose to
+	// publish (see ResultReporter); nil when the Runner does not
+	// report results or the analyze stage did not complete. This is
+	// the bridge a federation layer (metricsdb.ResultsFromReport,
+	// internal/resultsd) converts into durable metric records.
+	Results []ExperimentResult
+}
+
+// ExperimentResult is one experiment's published outcome: the
+// identity coordinates of the metrics database plus the raw figures
+// of merit the analyze stage extracted. FOM values stay strings here
+// (exactly as the workload reported them); the metricsdb bridge
+// parses the numeric ones.
+type ExperimentResult struct {
+	Experiment string
+	Benchmark  string
+	Workload   string
+	System     string
+	FOMs       map[string]string
+	Meta       map[string]string
+}
+
+// ResultReporter is an optional Runner extension. When a Runner
+// implements it, Run calls Results exactly once, after a successful
+// Analyze stage, and attaches the slice to Report.Results. The engine
+// never calls it on a run whose analysis did not complete, so the
+// published results always reflect a fully analyzed matrix.
+type ResultReporter interface {
+	Results() []ExperimentResult
 }
 
 // StageTiming aggregates the telemetry spans of one lifecycle stage.
@@ -405,6 +434,9 @@ func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 	stageSeconds(met, StageAnalyze).Observe(asecs)
 	if aerr != nil {
 		return fatal(StageAnalyze, aerr)
+	}
+	if rr, ok := r.(ResultReporter); ok {
+		rep.Results = rr.Results()
 	}
 	return rep, nil
 }

@@ -295,3 +295,53 @@ func TestStageErrorFormat(t *testing.T) {
 		}
 	}
 }
+
+// reportingRunner is a mockRunner that also implements ResultReporter.
+type reportingRunner struct {
+	mockRunner
+	results []ExperimentResult
+}
+
+func (r *reportingRunner) Results() []ExperimentResult { return r.results }
+
+func TestRunAttachesReportedResults(t *testing.T) {
+	r := &reportingRunner{
+		mockRunner: mockRunner{label: "suite@sys", n: 2},
+		results: []ExperimentResult{
+			{Experiment: "exp-000", Benchmark: "saxpy", System: "cts1",
+				FOMs: map[string]string{"saxpy_time": "1.5"}},
+		},
+	}
+	rep, err := Run(context.Background(), r, Options{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Experiment != "exp-000" {
+		t.Fatalf("Report.Results = %+v", rep.Results)
+	}
+}
+
+func TestRunNoResultsOnAnalyzeFailure(t *testing.T) {
+	r := &reportingRunner{
+		mockRunner: mockRunner{label: "suite@sys", n: 1, analyzeErr: errors.New("boom")},
+		results:    []ExperimentResult{{Experiment: "exp-000"}},
+	}
+	rep, err := Run(context.Background(), r, Options{Jobs: 1})
+	if err == nil {
+		t.Fatal("expected analyze failure")
+	}
+	if rep != nil && len(rep.Results) != 0 {
+		t.Fatalf("failed run must not publish results: %+v", rep.Results)
+	}
+}
+
+func TestRunWithoutReporterLeavesResultsNil(t *testing.T) {
+	m := &mockRunner{label: "plain", n: 1}
+	rep, err := Run(context.Background(), m, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != nil {
+		t.Fatalf("plain Runner produced Results: %+v", rep.Results)
+	}
+}

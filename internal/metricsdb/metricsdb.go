@@ -57,6 +57,23 @@ func (db *DB) Add(r Result) int {
 	return r.ID
 }
 
+// Insert stores a result preserving its caller-assigned ID and Seq,
+// raising the database's ID/Seq watermarks as needed. It is the
+// restore path for durable stores (internal/resultstore) that assign
+// identity at WAL-append time and must reconstruct the exact same
+// state on replay; fresh results should go through Add instead.
+func (db *DB) Insert(r Result) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if r.ID > db.nextID {
+		db.nextID = r.ID
+	}
+	if r.Seq > db.nextSeq {
+		db.nextSeq = r.Seq
+	}
+	db.results = append(db.results, r)
+}
+
 // Len reports the number of stored results.
 func (db *DB) Len() int {
 	db.mu.RLock()
@@ -121,12 +138,25 @@ type Regression struct {
 
 // DetectRegressions scans a FOM series with a rolling-median baseline
 // of the given window, flagging samples whose ratio to the baseline
-// exceeds threshold (e.g. 1.2 = 20% slowdown for time-like FOMs).
-// For throughput-like FOMs pass a threshold < 1 (e.g. 0.8) and
-// regressions are samples BELOW baseline*threshold.
+// exceeds threshold.
+//
+// Threshold direction follows the FOM's sense. For time-like FOMs,
+// where LOWER is better, pass a threshold > 1 (e.g. 1.2 = a 20%
+// slowdown) and regressions are samples at or ABOVE
+// baseline*threshold. For throughput-like FOMs, where HIGHER is
+// better, pass a threshold < 1 (e.g. 0.8) and regressions are samples
+// at or BELOW baseline*threshold.
+//
+// Edge semantics: every flagged sample is judged against a full
+// window of predecessors. A series shorter than window+1 points has
+// no sample with a complete baseline and returns nil — the detector
+// never degrades to a partial window on short prefixes — as does a
+// window below 2 (a 1-point median is just the previous sample, all
+// noise). Baselines of exactly 0 are skipped (the ratio is
+// undefined).
 func (db *DB) DetectRegressions(f Filter, fom string, window int, threshold float64) []Regression {
 	series := db.Series(f, fom)
-	if window < 2 || len(series) <= window {
+	if window < 2 || len(series) < window+1 {
 		return nil
 	}
 	var out []Regression

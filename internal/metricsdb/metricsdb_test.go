@@ -216,3 +216,138 @@ func TestCompareSystems(t *testing.T) {
 		t.Errorf("row = %+v", cmp[0])
 	}
 }
+
+// TestDetectRegressionEdges pins the boundary semantics documented on
+// DetectRegressions: a full window of predecessors is required for
+// every judged sample, degenerate windows return nil, and zero
+// baselines are skipped rather than dividing.
+func TestDetectRegressionEdges(t *testing.T) {
+	mk := func(vals []float64) *DB {
+		db := New()
+		for _, v := range vals {
+			db.Add(Result{Benchmark: "b", System: "s", FOMs: map[string]float64{"t": v}})
+		}
+		return db
+	}
+	cases := []struct {
+		name      string
+		vals      []float64
+		window    int
+		threshold float64
+		want      int
+	}{
+		{"empty series", nil, 4, 1.2, 0},
+		{"series shorter than window", []float64{1, 1, 1}, 4, 1.2, 0},
+		{"series == window: no judged sample", []float64{1, 1, 1, 9}, 4, 1.2, 0},
+		{"series == window+1: exactly one judged sample", []float64{1, 1, 1, 1, 9}, 4, 1.2, 1},
+		{"window below 2 is rejected", []float64{1, 1, 1, 1, 9}, 1, 1.2, 0},
+		{"window 0 is rejected", []float64{1, 1, 9}, 0, 1.2, 0},
+		{"negative window is rejected", []float64{1, 1, 9}, -3, 1.2, 0},
+		{"zero baseline skipped", []float64{0, 0, 9}, 2, 1.2, 0},
+		{"zeros in window still give nonzero median", []float64{0, 1, 1, 9}, 2, 1.2, 2},
+		{"exactly at threshold flags", []float64{1, 1, 1.2}, 2, 1.2, 1},
+		{"just under threshold passes", []float64{1, 1, 1.19}, 2, 1.2, 0},
+		{"throughput drop at threshold flags", []float64{10, 10, 8}, 2, 0.8, 1},
+		{"throughput just above threshold passes", []float64{10, 10, 8.1}, 2, 0.8, 0},
+	}
+	for _, tc := range cases {
+		got := mk(tc.vals).DetectRegressions(Filter{}, "t", tc.window, tc.threshold)
+		if len(got) != tc.want {
+			t.Errorf("%s: %d regressions, want %d (%+v)", tc.name, len(got), tc.want, got)
+		}
+	}
+}
+
+func TestUsageEmptyDB(t *testing.T) {
+	if got := New().Usage(); len(got) != 0 {
+		t.Fatalf("Usage on empty DB = %+v", got)
+	}
+}
+
+func TestUsageSingleBenchmark(t *testing.T) {
+	db := New()
+	db.Add(Result{Benchmark: "saxpy", System: "cts1", FOMs: map[string]float64{"t": 1}})
+	db.Add(Result{Benchmark: "saxpy", System: "cts1", FOMs: map[string]float64{"t": 2}})
+	db.Add(Result{Benchmark: "saxpy", System: "cloud-c5n", FOMs: map[string]float64{"t": 3}})
+	rows := db.Usage()
+	if len(rows) != 1 {
+		t.Fatalf("Usage = %+v", rows)
+	}
+	r := rows[0]
+	if r.Benchmark != "saxpy" || r.Runs != 3 || r.Systems != 2 || r.LastSeq != 3 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+func TestCompareSystemsEdges(t *testing.T) {
+	// Empty DB: no rows.
+	if got := New().CompareSystems("saxpy", "cts1", "ats2", "t"); len(got) != 0 {
+		t.Fatalf("empty DB comparison = %+v", got)
+	}
+
+	db := New()
+	// e1 exists on both systems; e2 only on cts1 (one-sided).
+	db.Add(Result{Benchmark: "saxpy", System: "cts1", Experiment: "e1",
+		FOMs: map[string]float64{"t": 2.0}})
+	db.Add(Result{Benchmark: "saxpy", System: "ats2", Experiment: "e1",
+		FOMs: map[string]float64{"t": 1.0}})
+	db.Add(Result{Benchmark: "saxpy", System: "cts1", Experiment: "e2",
+		FOMs: map[string]float64{"t": 5.0}})
+	cmp := db.CompareSystems("saxpy", "cts1", "ats2", "t")
+	if len(cmp) != 1 || cmp[0].Experiment != "e1" {
+		t.Fatalf("one-sided data must pair only shared experiments: %+v", cmp)
+	}
+
+	// A system with NO data at all: nothing pairs.
+	if got := db.CompareSystems("saxpy", "cts1", "missing-system", "t"); len(got) != 0 {
+		t.Fatalf("absent system comparison = %+v", got)
+	}
+
+	// FOM present on one side only: the experiment does not pair.
+	db2 := New()
+	db2.Add(Result{Benchmark: "saxpy", System: "cts1", Experiment: "e1",
+		FOMs: map[string]float64{"t": 2.0}})
+	db2.Add(Result{Benchmark: "saxpy", System: "ats2", Experiment: "e1",
+		FOMs: map[string]float64{"other": 1.0}})
+	if got := db2.CompareSystems("saxpy", "cts1", "ats2", "t"); len(got) != 0 {
+		t.Fatalf("one-sided FOM must not pair: %+v", got)
+	}
+
+	// Zero on the A side: ratio stays 0 instead of dividing by zero.
+	db3 := New()
+	db3.Add(Result{Benchmark: "saxpy", System: "cts1", Experiment: "e1",
+		FOMs: map[string]float64{"t": 0}})
+	db3.Add(Result{Benchmark: "saxpy", System: "ats2", Experiment: "e1",
+		FOMs: map[string]float64{"t": 3}})
+	got := db3.CompareSystems("saxpy", "cts1", "ats2", "t")
+	if len(got) != 1 || got[0].Ratio != 0 {
+		t.Fatalf("zero-A comparison = %+v", got)
+	}
+
+	// Latest wins: a rerun of e1 on ats2 replaces the earlier value.
+	db.Add(Result{Benchmark: "saxpy", System: "ats2", Experiment: "e1",
+		FOMs: map[string]float64{"t": 4.0}})
+	cmp = db.CompareSystems("saxpy", "cts1", "ats2", "t")
+	if len(cmp) != 1 || cmp[0].B != 4.0 || cmp[0].Ratio != 2.0 {
+		t.Fatalf("latest-wins comparison = %+v", cmp)
+	}
+}
+
+func TestInsertPreservesIdentity(t *testing.T) {
+	db := New()
+	db.Insert(Result{ID: 7, Seq: 9, Benchmark: "b", System: "s",
+		FOMs: map[string]float64{"t": 1}})
+	all := db.Query(Filter{})
+	if len(all) != 1 || all[0].ID != 7 || all[0].Seq != 9 {
+		t.Fatalf("Insert mangled identity: %+v", all)
+	}
+	// Add after Insert continues past the restored watermark.
+	id := db.Add(Result{Benchmark: "b", System: "s", FOMs: map[string]float64{"t": 2}})
+	if id != 8 {
+		t.Fatalf("Add after Insert assigned ID %d, want 8", id)
+	}
+	all = db.Query(Filter{})
+	if all[len(all)-1].Seq != 10 {
+		t.Fatalf("Add after Insert assigned Seq %d, want 10", all[len(all)-1].Seq)
+	}
+}

@@ -1,0 +1,216 @@
+package resultsd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/metricsdb"
+)
+
+// Client is a typed client for the resultsd API with context-aware
+// retries. Transport failures and 5xx responses retry with
+// exponential backoff (cancelled promptly by the context); 4xx
+// responses are terminal. Retrying POST /v1/results is safe because
+// ingest is idempotent under the batch's ingest key — the worst case
+// of a retry racing a slow first attempt is a Duplicate ack.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8321".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries is the number of re-attempts after the first try;
+	// negative means 0. Default (zero value via NewClient): 3.
+	MaxRetries int
+	// RetryBackoff is the first retry delay, doubling per attempt;
+	// <=0 means 50ms.
+	RetryBackoff time.Duration
+}
+
+// NewClient returns a client with the default retry policy.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, MaxRetries: 3}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// retryableError marks a failure worth re-attempting.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// do runs one API call with the retry policy and decodes the JSON
+// response into out.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("resultsd: encoding request: %w", err)
+		}
+	}
+	u := strings.TrimSuffix(c.BaseURL, "/") + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	retries := c.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("resultsd: %w (last attempt: %v)", err, lastErr)
+			}
+			return fmt.Errorf("resultsd: %w", err)
+		}
+		err := c.once(ctx, method, u, payload, out)
+		if err == nil {
+			return nil
+		}
+		var re *retryableError
+		if !errors.As(err, &re) || attempt >= retries {
+			return fmt.Errorf("resultsd: %s %s: %w", method, path, err)
+		}
+		lastErr = err
+		timer := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("resultsd: %w (last attempt: %v)", ctx.Err(), lastErr)
+		case <-timer.C:
+		}
+		backoff *= 2
+	}
+}
+
+// once performs a single HTTP attempt.
+func (c *Client) once(ctx context.Context, method, u string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return &retryableError{err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxIngestBytes))
+	if err != nil {
+		return &retryableError{err: err}
+	}
+	if resp.StatusCode >= 500 {
+		return &retryableError{err: fmt.Errorf("server error %d: %s", resp.StatusCode, apiErrorText(data))}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, apiErrorText(data))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	return nil
+}
+
+// apiErrorText extracts the server's error envelope, falling back to
+// the raw body.
+func apiErrorText(data []byte) string {
+	var e apiError
+	if err := json.Unmarshal(data, &e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// Push ingests one idempotent batch of results under the given key.
+func (c *Client) Push(ctx context.Context, key string, results []metricsdb.Result) (*IngestResponse, error) {
+	var resp IngestResponse
+	err := c.do(ctx, http.MethodPost, "/v1/results", nil,
+		IngestRequest{IngestKey: key, Results: results}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// queryFromFilter renders the shared filter parameters.
+func queryFromFilter(f metricsdb.Filter) url.Values {
+	q := url.Values{}
+	set := func(k, v string) {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	set("benchmark", f.Benchmark)
+	set("workload", f.Workload)
+	set("system", f.System)
+	set("experiment", f.Experiment)
+	return q
+}
+
+// Series fetches one FOM's time series under a filter.
+func (c *Client) Series(ctx context.Context, f metricsdb.Filter, fom string) ([]SeriesPoint, error) {
+	q := queryFromFilter(f)
+	q.Set("fom", fom)
+	var resp SeriesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/series", q, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Points, nil
+}
+
+// Regressions runs a server-side regression scan. window <= 0 and
+// threshold <= 0 use the server defaults.
+func (c *Client) Regressions(ctx context.Context, f metricsdb.Filter, fom string, window int, threshold float64) ([]RegressionRecord, error) {
+	q := queryFromFilter(f)
+	q.Set("fom", fom)
+	if window > 0 {
+		q.Set("window", strconv.Itoa(window))
+	}
+	if threshold > 0 {
+		q.Set("threshold", strconv.FormatFloat(threshold, 'g', -1, 64))
+	}
+	var resp RegressionsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/regressions", q, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Regressions, nil
+}
+
+// Systems lists the distinct system names with stored results.
+func (c *Client) Systems(ctx context.Context) ([]string, error) {
+	var resp SystemsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/systems", nil, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Systems, nil
+}

@@ -1,0 +1,210 @@
+package resultsd
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metricsdb"
+	"repro/internal/resultstore"
+	"repro/internal/telemetry"
+)
+
+func fastClient(baseURL string) *Client {
+	c := NewClient(baseURL)
+	c.RetryBackoff = time.Millisecond
+	return c
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	ctx := context.Background()
+
+	resp, err := c.Push(ctx, "k1", []metricsdb.Result{
+		result("saxpy", "cts1", "saxpy_time", 1.0),
+		result("saxpy", "cts1", "saxpy_time", 1.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 2 || resp.Duplicate {
+		t.Fatalf("Push = %+v", resp)
+	}
+	resp, err = c.Push(ctx, "k1", []metricsdb.Result{result("saxpy", "cts1", "saxpy_time", 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Duplicate {
+		t.Fatalf("second Push = %+v, want duplicate", resp)
+	}
+
+	pts, err := c.Series(ctx, metricsdb.Filter{Benchmark: "saxpy"}, "saxpy_time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Value != 1.0 || pts[1].Value != 1.1 {
+		t.Fatalf("Series = %+v", pts)
+	}
+
+	systems, err := c.Systems(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != 1 || systems[0] != "cts1" {
+		t.Fatalf("Systems = %v", systems)
+	}
+
+	regs, err := c.Regressions(ctx, metricsdb.Filter{Benchmark: "saxpy"}, "saxpy_time", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("Regressions = %+v", regs)
+	}
+}
+
+func TestClientRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int32
+	backend, _ := newTestServer(t)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"temporarily overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		backend.Handler().ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+	c := fastClient(flaky.URL)
+	resp, err := c.Push(context.Background(), "k1",
+		[]metricsdb.Result{result("saxpy", "cts1", "saxpy_time", 1.0)})
+	if err != nil {
+		t.Fatalf("push through flaky server: %v", err)
+	}
+	if resp.Accepted != 1 {
+		t.Fatalf("Push = %+v", resp)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 503s then success)", got)
+	}
+}
+
+func TestClientRetriesExhaust(t *testing.T) {
+	var calls atomic.Int32
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer down.Close()
+	c := fastClient(down.URL)
+	c.MaxRetries = 2
+	_, err := c.Systems(context.Background())
+	if err == nil {
+		t.Fatal("expected error from a permanently down server")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 try + 2 retries)", got)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv, _ := newTestServer(t)
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer counting.Close()
+	c := fastClient(counting.URL)
+	// Empty results is a 400 — terminal, one attempt only.
+	_, err := c.Push(context.Background(), "k1", nil)
+	if err == nil {
+		t.Fatal("expected 400 from empty results")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on 4xx)", got)
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	// A server that is immediately closed: connections are refused.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+	c := fastClient(dead.URL)
+	c.MaxRetries = 1
+	start := time.Now()
+	_, err := c.Systems(context.Background())
+	if err == nil {
+		t.Fatal("expected connection error")
+	}
+	// One backoff happened, proving the transport error was retried.
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("returned in %v: retry backoff did not run", elapsed)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	var calls atomic.Int32
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer down.Close()
+	c := fastClient(down.URL)
+	c.MaxRetries = 1000
+	c.RetryBackoff = 10 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	_, err := c.Systems(ctx)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if got := calls.Load(); got > 5 {
+		t.Fatalf("server saw %d calls before cancellation; retries ignored the context", got)
+	}
+}
+
+// TestClientRetryIsIdempotent pins the property the whole retry design
+// rests on: a POST retried after a 5xx that actually reached the store
+// does not double-ingest, because the ingest key dedups.
+func TestClientRetryIsIdempotent(t *testing.T) {
+	store, err := resultstore.Open(t.TempDir(), resultstore.Options{
+		Clock:               telemetry.FixedClock{T: time.Unix(1700000000, 0)},
+		NoBackgroundCompact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := New(store, nil)
+	var calls atomic.Int32
+	// The cruelest failure: the store applies the batch, then the
+	// response is lost (emulated by a 500 AFTER the real handler ran).
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec, r)
+			http.Error(w, `{"error":"response lost"}`, http.StatusBadGateway)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer evil.Close()
+	c := fastClient(evil.URL)
+	resp, err := c.Push(context.Background(), "k1",
+		[]metricsdb.Result{result("saxpy", "cts1", "saxpy_time", 1.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Duplicate {
+		t.Fatalf("retry after applied-but-lost response: %+v, want duplicate ack", resp)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store holds %d results, want 1 (no double ingest)", store.Len())
+	}
+}

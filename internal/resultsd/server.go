@@ -1,0 +1,290 @@
+// Package resultsd is the network half of the results federation
+// service: a stdlib-only HTTP API over a durable resultstore, plus a
+// typed client with context-aware retries. It is the "shared metrics
+// database" at the end of the paper's Figure 6 automation workflow —
+// federated CI runners POST their results into it, and developers
+// query series, regressions and system inventories "across systems
+// and time" (Section 5) without access to the machine that ran the
+// benchmarks.
+//
+// API (all request/response bodies are JSON):
+//
+//	POST /v1/results      batch ingest; idempotent via ingest_key
+//	GET  /v1/series       one FOM's time series under a filter
+//	GET  /v1/regressions  rolling-median regression scan of a series
+//	GET  /v1/systems      distinct system names with results
+//
+// Every handler is instrumented with internal/telemetry exactly like
+// the execution engine: a span per request (http:<route>), plus
+// request/error counters and a latency histogram per route, all read
+// from the server's injected tracer so traces flow through the server
+// the same way they flow through the engine. Responses are
+// deterministic: series points sort by sequence, systems sort by
+// name, and no wall-clock value is ever serialized — restarting the
+// store and re-serving yields byte-identical bodies (pinned by
+// TestServeByteIdenticalAcrossRestart).
+package resultsd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/metricsdb"
+	"repro/internal/resultstore"
+	"repro/internal/telemetry"
+)
+
+// maxIngestBytes bounds a POST /v1/results body.
+const maxIngestBytes = 8 << 20
+
+// Server serves the federation API over a store.
+type Server struct {
+	store  *resultstore.Store
+	tracer *telemetry.Tracer
+	mux    *http.ServeMux
+}
+
+// New returns a server over the store. tracer may be nil (requests
+// then run uninstrumented); with a tracer, every request records a
+// span and per-route metrics into it.
+func New(store *resultstore.Store, tracer *telemetry.Tracer) *Server {
+	s := &Server{store: store, tracer: tracer, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/results", s.instrument("results", s.handleIngest))
+	s.mux.HandleFunc("GET /v1/series", s.instrument("series", s.handleSeries))
+	s.mux.HandleFunc("GET /v1/regressions", s.instrument("regressions", s.handleRegressions))
+	s.mux.HandleFunc("GET /v1/systems", s.instrument("systems", s.handleSystems))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Tracer returns the server's tracer (nil when uninstrumented).
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
+
+// handlerFunc is an instrumented route body: it serves the request
+// and returns the error it responded with, nil on success.
+type handlerFunc func(ctx context.Context, w http.ResponseWriter, r *http.Request) error
+
+// instrument wraps a route with the span + metrics discipline: one
+// "http:<route>" span per request, resultsd_requests_total and
+// resultsd_errors_total counters, and a resultsd_request_seconds
+// latency histogram, all labeled by route. Latency comes from the
+// tracer's clock, so a FixedClock server observes zero latencies and
+// stays byte-identical across runs.
+func (s *Server) instrument(route string, fn handlerFunc) http.HandlerFunc {
+	met := s.tracer.Metrics()
+	requests := met.Counter(fmt.Sprintf("resultsd_requests_total{route=%q}", route))
+	errors := met.Counter(fmt.Sprintf("resultsd_errors_total{route=%q}", route))
+	latency := met.Histogram(fmt.Sprintf("resultsd_request_seconds{route=%q}", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if s.tracer != nil {
+			ctx = telemetry.WithTracer(ctx, s.tracer)
+		}
+		start := s.tracer.Now()
+		ctx, span := telemetry.StartSpan(ctx, "http:"+route)
+		defer span.End()
+		span.SetAttr("method", r.Method)
+		requests.Inc()
+		defer func() { latency.Observe(s.tracer.Now().Sub(start).Seconds()) }()
+		if err := fn(ctx, w, r); err != nil {
+			span.SetError(err)
+			errors.Inc()
+		}
+	}
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// fail writes the error envelope and returns the error for the
+// instrumentation layer.
+func fail(w http.ResponseWriter, code int, err error) error {
+	writeJSON(w, code, apiError{Error: err.Error()})
+	return err
+}
+
+// writeJSON renders one response body. Encoding a response we built
+// ourselves cannot fail, so the error path is just a 500 guard.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n')) //nolint:errcheck
+}
+
+// IngestRequest is the POST /v1/results body: a client-chosen
+// idempotency key and the results it covers. Result IDs and sequence
+// numbers are assigned server-side; client-supplied values are
+// ignored.
+type IngestRequest struct {
+	IngestKey string             `json:"ingest_key"`
+	Results   []metricsdb.Result `json:"results"`
+}
+
+// IngestResponse acknowledges one ingest batch.
+type IngestResponse struct {
+	// Accepted is the number of results durably stored (0 when the
+	// key was a duplicate).
+	Accepted int `json:"accepted"`
+	// Duplicate is set when the ingest key was already applied; the
+	// batch was dropped without comparing contents, so clients must
+	// derive keys from content + attempt identity.
+	Duplicate bool `json:"duplicate"`
+}
+
+func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	if err := dec.Decode(&req); err != nil {
+		return fail(w, http.StatusBadRequest, fmt.Errorf("decoding ingest body: %w", err))
+	}
+	if req.IngestKey == "" {
+		return fail(w, http.StatusBadRequest, fmt.Errorf("ingest_key is required"))
+	}
+	if len(req.Results) == 0 {
+		return fail(w, http.StatusBadRequest, fmt.Errorf("results must be non-empty"))
+	}
+	for i, res := range req.Results {
+		if res.Benchmark == "" || res.System == "" {
+			return fail(w, http.StatusBadRequest,
+				fmt.Errorf("result %d needs benchmark and system", i))
+		}
+	}
+	span := telemetry.Current(ctx)
+	span.SetAttr("ingest_key", req.IngestKey)
+	span.SetInt("results", len(req.Results))
+	applied, err := s.store.Append(ctx, resultstore.Batch{Key: req.IngestKey, Results: req.Results})
+	if err != nil {
+		return fail(w, http.StatusInternalServerError, err)
+	}
+	resp := IngestResponse{Duplicate: !applied}
+	if applied {
+		resp.Accepted = len(req.Results)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// SeriesPoint is one sample of a served FOM series.
+type SeriesPoint struct {
+	Seq   int     `json:"seq"`
+	Value float64 `json:"value"`
+}
+
+// SeriesResponse is the GET /v1/series body.
+type SeriesResponse struct {
+	FOM    string        `json:"fom"`
+	Points []SeriesPoint `json:"points"`
+}
+
+// filterFromQuery reads the shared filter parameters.
+func filterFromQuery(r *http.Request) metricsdb.Filter {
+	q := r.URL.Query()
+	return metricsdb.Filter{
+		Benchmark:  q.Get("benchmark"),
+		Workload:   q.Get("workload"),
+		System:     q.Get("system"),
+		Experiment: q.Get("experiment"),
+	}
+}
+
+func (s *Server) handleSeries(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	fom := r.URL.Query().Get("fom")
+	if fom == "" {
+		return fail(w, http.StatusBadRequest, fmt.Errorf("fom parameter is required"))
+	}
+	pts := s.store.Series(filterFromQuery(r), fom)
+	resp := SeriesResponse{FOM: fom, Points: make([]SeriesPoint, 0, len(pts))}
+	for _, p := range pts {
+		resp.Points = append(resp.Points, SeriesPoint{Seq: p.Seq, Value: p.Value})
+	}
+	telemetry.Current(ctx).SetInt("points", len(resp.Points))
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// RegressionRecord is one flagged sample in a regression scan.
+type RegressionRecord struct {
+	Seq      int     `json:"seq"`
+	Value    float64 `json:"value"`
+	Baseline float64 `json:"baseline"`
+	Ratio    float64 `json:"ratio"`
+}
+
+// RegressionsResponse is the GET /v1/regressions body.
+type RegressionsResponse struct {
+	FOM         string             `json:"fom"`
+	Window      int                `json:"window"`
+	Threshold   float64            `json:"threshold"`
+	Regressions []RegressionRecord `json:"regressions"`
+}
+
+// Regression-scan defaults: a 4-sample rolling median and the 20%
+// slowdown threshold the CLI's `regressions` subcommand uses.
+const (
+	DefaultWindow    = 4
+	DefaultThreshold = 1.2
+)
+
+func (s *Server) handleRegressions(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	q := r.URL.Query()
+	fom := q.Get("fom")
+	if fom == "" {
+		return fail(w, http.StatusBadRequest, fmt.Errorf("fom parameter is required"))
+	}
+	window := DefaultWindow
+	if v := q.Get("window"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 2 {
+			return fail(w, http.StatusBadRequest, fmt.Errorf("bad window %q (need an integer >= 2)", v))
+		}
+		window = n
+	}
+	threshold := DefaultThreshold
+	if v := q.Get("threshold"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return fail(w, http.StatusBadRequest, fmt.Errorf("bad threshold %q (need a positive number)", v))
+		}
+		threshold = f
+	}
+	regs := s.store.DetectRegressions(filterFromQuery(r), fom, window, threshold)
+	resp := RegressionsResponse{
+		FOM: fom, Window: window, Threshold: threshold,
+		Regressions: make([]RegressionRecord, 0, len(regs)),
+	}
+	for _, reg := range regs {
+		resp.Regressions = append(resp.Regressions, RegressionRecord{
+			Seq: reg.Seq, Value: reg.Value, Baseline: reg.Baseline, Ratio: reg.Ratio,
+		})
+	}
+	telemetry.Current(ctx).SetInt("regressions", len(resp.Regressions))
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// SystemsResponse is the GET /v1/systems body.
+type SystemsResponse struct {
+	Systems []string `json:"systems"`
+}
+
+func (s *Server) handleSystems(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	systems := s.store.Systems()
+	if systems == nil {
+		systems = []string{}
+	}
+	telemetry.Current(ctx).SetInt("systems", len(systems))
+	writeJSON(w, http.StatusOK, SystemsResponse{Systems: systems})
+	return nil
+}

@@ -1,0 +1,498 @@
+// Package resultstore is the durable half of the results federation
+// service: a crash-safe storage engine for metricsdb results. The
+// paper's Figure 6 workflow ends in a shared metrics database that
+// federated CI runners push into; a database that forgets its
+// contents on restart (or corrupts them on a power cut) cannot be
+// the accrual point exaCB-style collaborative benchmarking needs, so
+// this package provides the on-disk contract:
+//
+//   - Append-only WAL. Every ingested batch is one length+CRC framed
+//     record (see wal.go), fsynced before the append is acknowledged,
+//     so an acknowledged batch survives a crash.
+//   - Idempotent ingest. Batches carry a client-supplied key; a key
+//     already applied is a no-op, which makes CI retries safe.
+//   - Segment rotation + compaction. The WAL rotates at a size
+//     threshold; sealed segments fold into a sorted snapshot in the
+//     background, bounding recovery time.
+//   - Deterministic recovery. Replay applies committed batches in
+//     write order and truncates a torn tail — it never errors on one.
+//     Reopening a store yields byte-identical query results (the
+//     resultsd determinism test pins this over HTTP).
+//
+// Timestamps on WAL records come from an injectable telemetry.Clock,
+// so tests using FixedClock produce byte-identical WAL files.
+package resultstore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/metricsdb"
+	"repro/internal/telemetry"
+)
+
+// Options configures a store.
+type Options struct {
+	// SegmentBytes is the rotation threshold for the active WAL
+	// segment; <=0 means 256 KiB.
+	SegmentBytes int64
+	// Clock stamps WAL batches (ingest audit trail); nil means the
+	// wall clock. Query responses never contain these stamps, so the
+	// clock choice cannot leak into served results.
+	Clock telemetry.Clock
+	// NoBackgroundCompact disables the compaction goroutine; sealed
+	// segments then only fold into a snapshot on explicit Compact
+	// calls (tests use this for deterministic file layouts).
+	NoBackgroundCompact bool
+}
+
+const defaultSegmentBytes = 256 << 10
+
+// Batch is one idempotent ingest unit: a client-chosen key and the
+// results it covers. A key is applied at most once for the lifetime
+// of the store, including across restarts.
+type Batch struct {
+	Key     string
+	Results []metricsdb.Result
+}
+
+// walBatch is the WAL record payload. Results carry their assigned
+// ID/Seq so replay reconstructs the exact in-memory state.
+type walBatch struct {
+	Key      string             `json:"key"`
+	Received int64              `json:"received_unix_ns"`
+	Results  []metricsdb.Result `json:"results"`
+}
+
+// snapshot is the compacted on-disk form: the full store state as of
+// the last sealed segment. snapshotFormat tags the file so future
+// layout changes can migrate.
+type snapshot struct {
+	Format  string             `json:"format"`
+	Covered int                `json:"covered_segment"`
+	NextID  int                `json:"next_id"`
+	NextSeq int                `json:"next_seq"`
+	Keys    []string           `json:"keys"`
+	Results []metricsdb.Result `json:"results"`
+}
+
+const snapshotFormat = "benchpark-snap-1"
+
+// Store is a durable, thread-safe result store. Queries delegate to
+// an in-memory metricsdb.DB rebuilt on Open from the newest snapshot
+// plus a WAL replay.
+type Store struct {
+	dir   string
+	opts  Options
+	clock telemetry.Clock
+
+	mu          sync.Mutex
+	db          *metricsdb.DB
+	keys        map[string]bool
+	nextID      int
+	nextSeq     int
+	active      *os.File
+	activeSeq   int
+	activeSize  int64
+	snapCovered int
+	closed      bool
+	failed      error // sticky: set when the WAL is in an unknown state
+
+	compactCh chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// Open recovers (or creates) a store in dir. Recovery loads the
+// newest snapshot, replays every newer WAL segment in order, skips
+// batches whose ingest key is already applied, and truncates a torn
+// tail on the active segment. It never fails on a torn tail — that
+// is the expected shape of a crash.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = telemetry.WallClock()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		clock:     clock,
+		db:        metricsdb.New(),
+		keys:      map[string]bool{},
+		compactCh: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if !opts.NoBackgroundCompact {
+		s.wg.Add(1)
+		go s.compactor()
+	}
+	return s, nil
+}
+
+// recover rebuilds in-memory state from disk and opens the active
+// segment for appending.
+func (s *Store) recover() error {
+	snaps, err := listNumbered(s.dir, snapshotPrefix, snapshotSuffix)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if len(snaps) > 0 {
+		s.snapCovered = snaps[len(snaps)-1]
+		if err := s.loadSnapshot(s.snapCovered); err != nil {
+			return err
+		}
+	}
+	segs, err := listNumbered(s.dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	for i, seg := range segs {
+		if seg <= s.snapCovered {
+			continue // already folded into the snapshot
+		}
+		if err := s.replaySegment(seg, i == len(segs)-1); err != nil {
+			return err
+		}
+	}
+	s.activeSeq = s.snapCovered + 1
+	if len(segs) > 0 && segs[len(segs)-1] > s.snapCovered {
+		s.activeSeq = segs[len(segs)-1]
+	}
+	path := filepath.Join(s.dir, segmentName(s.activeSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: opening active segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.active = f
+	s.activeSize = fi.Size()
+	return nil
+}
+
+// loadSnapshot restores the full store state from snap-N.json.
+func (s *Store) loadSnapshot(n int) error {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotName(n)))
+	if err != nil {
+		return fmt.Errorf("resultstore: reading snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("resultstore: snapshot %s: %w", snapshotName(n), err)
+	}
+	if snap.Format != snapshotFormat {
+		return fmt.Errorf("resultstore: snapshot %s has unknown format %q", snapshotName(n), snap.Format)
+	}
+	for _, r := range snap.Results {
+		s.db.Insert(r)
+	}
+	for _, k := range snap.Keys {
+		s.keys[k] = true
+	}
+	s.noteCounters(snap.NextID, snap.NextSeq)
+	return nil
+}
+
+// replaySegment applies a WAL segment's committed batches. A torn
+// tail is truncated away when the segment is the newest one (the only
+// place a crash can legitimately tear); older segments just stop at
+// the tear.
+func (s *Store) replaySegment(seg int, newest bool) error {
+	path := filepath.Join(s.dir, segmentName(seg))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("resultstore: reading segment: %w", err)
+	}
+	payloads, good := scanRecords(data)
+	for _, p := range payloads {
+		var b walBatch
+		if err := json.Unmarshal(p, &b); err != nil {
+			return fmt.Errorf("resultstore: segment %s holds a CRC-valid but undecodable record: %w",
+				segmentName(seg), err)
+		}
+		if s.keys[b.Key] {
+			continue // snapshot already covers this batch
+		}
+		s.keys[b.Key] = true
+		for _, r := range b.Results {
+			s.db.Insert(r)
+			s.noteCounters(r.ID, r.Seq)
+		}
+	}
+	if good < len(data) && newest {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return fmt.Errorf("resultstore: truncating torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// noteCounters raises the ID/Seq watermarks.
+func (s *Store) noteCounters(id, seq int) {
+	if id > s.nextID {
+		s.nextID = id
+	}
+	if seq > s.nextSeq {
+		s.nextSeq = seq
+	}
+}
+
+// Append durably ingests one batch. It assigns each result its ID and
+// sequence number, writes the batch as a single WAL record, fsyncs,
+// and only then applies it to the queryable state — so an
+// acknowledged batch is always recoverable. A batch whose key was
+// already applied returns (false, nil) without touching the WAL.
+func (s *Store) Append(ctx context.Context, b Batch) (applied bool, err error) {
+	if b.Key == "" {
+		return false, fmt.Errorf("resultstore: batch needs an ingest key")
+	}
+	if len(b.Results) == 0 {
+		return false, fmt.Errorf("resultstore: batch %q holds no results", b.Key)
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, fmt.Errorf("resultstore: store is closed")
+	}
+	if s.failed != nil {
+		return false, fmt.Errorf("resultstore: store failed: %w", s.failed)
+	}
+	if s.keys[b.Key] {
+		return false, nil
+	}
+	// Rotate first so a rotation failure leaves the batch unwritten
+	// (clean retry semantics) rather than half-applied.
+	if s.activeSize >= s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return false, err
+		}
+	}
+
+	rs := make([]metricsdb.Result, len(b.Results))
+	copy(rs, b.Results)
+	for i := range rs {
+		s.nextID++
+		s.nextSeq++
+		rs[i].ID = s.nextID
+		rs[i].Seq = s.nextSeq
+	}
+	payload, err := json.Marshal(walBatch{
+		Key:      b.Key,
+		Received: s.clock.Now().UnixNano(),
+		Results:  rs,
+	})
+	if err != nil {
+		s.nextID -= len(rs)
+		s.nextSeq -= len(rs)
+		return false, fmt.Errorf("resultstore: %w", err)
+	}
+	n, werr := appendRecord(s.active, payload)
+	if werr == nil {
+		werr = s.active.Sync()
+	}
+	if werr != nil {
+		// The segment may hold a torn record now; cut it back to the
+		// last known-good offset so later appends don't land behind a
+		// tear replay would drop.
+		s.nextID -= len(rs)
+		s.nextSeq -= len(rs)
+		if terr := s.active.Truncate(s.activeSize); terr != nil {
+			s.failed = fmt.Errorf("append failed (%v) and truncate failed (%v)", werr, terr)
+		}
+		return false, fmt.Errorf("resultstore: appending batch: %w", werr)
+	}
+	s.activeSize += int64(n)
+	s.keys[b.Key] = true
+	for _, r := range rs {
+		s.db.Insert(r)
+	}
+	return true, nil
+}
+
+// rotateLocked seals the active segment and opens the next one,
+// nudging the background compactor. Caller holds s.mu.
+func (s *Store) rotateLocked() error {
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("resultstore: sealing segment: %w", err)
+	}
+	next := s.activeSeq + 1
+	f, err := os.OpenFile(filepath.Join(s.dir, segmentName(next)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Reopen the sealed segment so the store keeps accepting
+		// appends; rotation retries on the next append.
+		re, rerr := os.OpenFile(filepath.Join(s.dir, segmentName(s.activeSeq)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if rerr != nil {
+			s.failed = fmt.Errorf("rotation failed (%v) and reopen failed (%v)", err, rerr)
+			return fmt.Errorf("resultstore: %w", s.failed)
+		}
+		s.active = re
+		return fmt.Errorf("resultstore: rotating segment: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.active = f
+	s.activeSeq = next
+	s.activeSize = 0
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// compactor folds sealed segments into snapshots off the append path.
+func (s *Store) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.compactCh:
+			// A failed background compaction is retried on the next
+			// rotation; the WAL alone remains a complete record.
+			_ = s.Compact()
+		}
+	}
+}
+
+// Compact writes the current state as a sorted snapshot covering all
+// sealed segments, then removes them and older snapshots. The active
+// segment stays; replaying it over the snapshot is harmless because
+// ingest keys dedup. Safe to call at any time, including with
+// background compaction enabled.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("resultstore: store is closed")
+	}
+	covered := s.activeSeq - 1
+	if covered <= s.snapCovered {
+		return nil // nothing sealed since the last snapshot
+	}
+	keys := make([]string, 0, len(s.keys))
+	for k := range s.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	snap := snapshot{
+		Format:  snapshotFormat,
+		Covered: covered,
+		NextID:  s.nextID,
+		NextSeq: s.nextSeq,
+		Keys:    keys,
+		Results: s.db.Query(metricsdb.Filter{}), // sorted by Seq
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := atomicWriteFile(filepath.Join(s.dir, snapshotName(covered)), data); err != nil {
+		return fmt.Errorf("resultstore: writing snapshot: %w", err)
+	}
+	prevSnap := s.snapCovered
+	s.snapCovered = covered
+	// Garbage-collect what the snapshot supersedes. Removal failures
+	// are harmless (recovery skips covered segments) so only the
+	// first error is surfaced.
+	var firstErr error
+	segs, err := listNumbered(s.dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	for _, seg := range segs {
+		if seg <= covered {
+			if err := os.Remove(filepath.Join(s.dir, segmentName(seg))); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if prevSnap > 0 {
+		if err := os.Remove(filepath.Join(s.dir, snapshotName(prevSnap))); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close stops the compactor and seals the active segment. The store
+// rejects appends afterwards; a new Open recovers the same state.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	err := s.active.Sync()
+	if cerr := s.active.Close(); err == nil {
+		err = cerr
+	}
+	s.active = nil
+	return err
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len reports the number of stored results.
+func (s *Store) Len() int { return s.db.Len() }
+
+// HasKey reports whether an ingest key has been applied.
+func (s *Store) HasKey(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.keys[key]
+}
+
+// Query, Series, DetectRegressions, Systems, Usage and CompareSystems
+// delegate to the in-memory metricsdb state, which the WAL keeps
+// durable. See the metricsdb package for semantics.
+
+func (s *Store) Query(f metricsdb.Filter) []metricsdb.Result { return s.db.Query(f) }
+
+func (s *Store) Series(f metricsdb.Filter, fom string) []metricsdb.Point {
+	return s.db.Series(f, fom)
+}
+
+func (s *Store) DetectRegressions(f metricsdb.Filter, fom string, window int, threshold float64) []metricsdb.Regression {
+	return s.db.DetectRegressions(f, fom, window, threshold)
+}
+
+func (s *Store) Systems() []string { return s.db.Systems() }
+
+func (s *Store) Usage() []metricsdb.UsageRow { return s.db.Usage() }
+
+func (s *Store) CompareSystems(benchmark, sysA, sysB, fom string) []metricsdb.Comparison {
+	return s.db.CompareSystems(benchmark, sysA, sysB, fom)
+}

@@ -1,0 +1,325 @@
+package resultstore
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metricsdb"
+	"repro/internal/telemetry"
+)
+
+func fixedOpts() Options {
+	return Options{
+		Clock:               telemetry.FixedClock{T: time.Unix(1700000000, 0)},
+		NoBackgroundCompact: true,
+	}
+}
+
+func res(bench, system string, fom string, v float64) metricsdb.Result {
+	return metricsdb.Result{
+		Benchmark:  bench,
+		Workload:   "problem",
+		System:     system,
+		Experiment: bench + "_exp",
+		FOMs:       map[string]float64{fom: v},
+	}
+}
+
+func mustAppend(t *testing.T, s *Store, key string, rs ...metricsdb.Result) {
+	t.Helper()
+	applied, err := s.Append(context.Background(), Batch{Key: key, Results: rs})
+	if err != nil {
+		t.Fatalf("Append(%s): %v", key, err)
+	}
+	if !applied {
+		t.Fatalf("Append(%s): unexpectedly reported duplicate", key)
+	}
+}
+
+func TestAppendAssignsIdentityAndQueries(t *testing.T) {
+	s, err := Open(t.TempDir(), fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustAppend(t, s, "k1", res("saxpy", "cts1", "saxpy_time", 1.0), res("saxpy", "cts1", "saxpy_time", 1.1))
+	mustAppend(t, s, "k2", res("stream", "cloud-c5n", "triad_bw", 90))
+
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	all := s.Query(metricsdb.Filter{})
+	for i, r := range all {
+		if r.ID != i+1 || r.Seq != i+1 {
+			t.Fatalf("result %d has ID=%d Seq=%d, want %d/%d", i, r.ID, r.Seq, i+1, i+1)
+		}
+	}
+	pts := s.Series(metricsdb.Filter{Benchmark: "saxpy"}, "saxpy_time")
+	if len(pts) != 2 || pts[0].Value != 1.0 || pts[1].Value != 1.1 {
+		t.Fatalf("Series = %+v", pts)
+	}
+	if got := s.Systems(); !reflect.DeepEqual(got, []string{"cloud-c5n", "cts1"}) {
+		t.Fatalf("Systems = %v", got)
+	}
+}
+
+func TestAppendValidatesBatch(t *testing.T) {
+	s, err := Open(t.TempDir(), fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Append(context.Background(), Batch{Results: []metricsdb.Result{res("a", "b", "t", 1)}}); err == nil {
+		t.Fatal("append without key should fail")
+	}
+	if _, err := s.Append(context.Background(), Batch{Key: "k"}); err == nil {
+		t.Fatal("append without results should fail")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Append(ctx, Batch{Key: "k", Results: []metricsdb.Result{res("a", "b", "t", 1)}}); err == nil {
+		t.Fatal("append on a cancelled context should fail")
+	}
+}
+
+func TestDuplicateKeyIsNoOp(t *testing.T) {
+	s, err := Open(t.TempDir(), fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustAppend(t, s, "k1", res("saxpy", "cts1", "saxpy_time", 1.0))
+	applied, err := s.Append(context.Background(), Batch{
+		Key:     "k1",
+		Results: []metricsdb.Result{res("saxpy", "cts1", "saxpy_time", 99)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied {
+		t.Fatal("duplicate key was applied")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate, want 1", s.Len())
+	}
+	if !s.HasKey("k1") || s.HasKey("k2") {
+		t.Fatal("HasKey bookkeeping wrong")
+	}
+}
+
+func TestReopenRecoversState(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, "k1", res("saxpy", "cts1", "saxpy_time", 1.0))
+	mustAppend(t, s, "k2", res("saxpy", "cts1", "saxpy_time", 1.2))
+	before := s.Query(metricsdb.Filter{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Query(metricsdb.Filter{}); !reflect.DeepEqual(got, before) {
+		t.Fatalf("recovered state differs:\n got %+v\nwant %+v", got, before)
+	}
+	// Identity assignment continues past the recovered watermark, and
+	// applied keys stay applied.
+	if applied, err := s2.Append(context.Background(), Batch{
+		Key: "k1", Results: []metricsdb.Result{res("x", "y", "t", 1)},
+	}); err != nil || applied {
+		t.Fatalf("k1 after reopen: applied=%v err=%v, want duplicate no-op", applied, err)
+	}
+	mustAppend(t, s2, "k3", res("saxpy", "cts1", "saxpy_time", 1.4))
+	all := s2.Query(metricsdb.Filter{})
+	if last := all[len(all)-1]; last.Seq != 3 || last.ID != 3 {
+		t.Fatalf("post-recovery identity: ID=%d Seq=%d, want 3/3", last.ID, last.Seq)
+	}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := fixedOpts()
+	opts.SegmentBytes = 64 // rotate roughly every batch
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		mustAppend(t, s, "k"+string(rune('a'+i)), res("saxpy", "cts1", "saxpy_time", float64(i)))
+	}
+	segs, err := listNumbered(dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation to create several segments, got %v", segs)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction keeps only the active segment plus one snapshot.
+	segs, err = listNumbered(dir, segmentPrefix, segmentSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := listNumbered(dir, snapshotPrefix, snapshotSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || len(snaps) != 1 {
+		t.Fatalf("after compaction: segments %v snapshots %v, want 1 and 1", segs, snaps)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len = %d after compaction, want 6", s.Len())
+	}
+	// A second compact with nothing new sealed is a no-op.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Query(metricsdb.Filter{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery from snapshot + active segment reproduces the state.
+	s2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Query(metricsdb.Filter{}); !reflect.DeepEqual(got, before) {
+		t.Fatalf("state after snapshot recovery differs:\n got %+v\nwant %+v", got, before)
+	}
+	for i := 0; i < 6; i++ {
+		if !s2.HasKey("k" + string(rune('a'+i))) {
+			t.Fatalf("key k%c lost across snapshot recovery", 'a'+i)
+		}
+	}
+}
+
+func TestBackgroundCompactor(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{
+		SegmentBytes: 64,
+		Clock:        telemetry.FixedClock{T: time.Unix(1700000000, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		mustAppend(t, s, "bg"+string(rune('a'+i)), res("saxpy", "cts1", "saxpy_time", float64(i)))
+	}
+	// Close waits for the compactor goroutine, so after Close the
+	// store must still hold every result when reopened.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 8 {
+		t.Fatalf("Len after background compaction + reopen = %d, want 8", s2.Len())
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{
+		SegmentBytes: 256,
+		Clock:        telemetry.FixedClock{T: time.Unix(1700000000, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				key := "g" + string(rune('0'+g)) + "-" + string(rune('0'+i))
+				if _, err := s.Append(context.Background(), Batch{
+					Key:     key,
+					Results: []metricsdb.Result{res("saxpy", "cts1", "saxpy_time", float64(i))},
+				}); err != nil {
+					t.Errorf("append %s: %v", key, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 80 {
+		t.Fatalf("Len = %d, want 80", s.Len())
+	}
+	// Seqs are unique and dense.
+	seen := map[int]bool{}
+	for _, r := range s.Query(metricsdb.Filter{}) {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+	for i := 1; i <= 80; i++ {
+		if !seen[i] {
+			t.Fatalf("missing seq %d", i)
+		}
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	s, err := Open(t.TempDir(), fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, "k1", res("saxpy", "cts1", "saxpy_time", 1.0))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Append(context.Background(), Batch{
+		Key: "k2", Results: []metricsdb.Result{res("a", "b", "t", 1)},
+	}); err == nil {
+		t.Fatal("append after Close should fail")
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("compact after Close should fail")
+	}
+}
+
+func TestRecoveryIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, "k1", res("saxpy", "cts1", "saxpy_time", 1.0))
+	s.Close()
+	for _, name := range []string{"notes.txt", "wal-abc.log", "snap-.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir, fixedOpts())
+	if err != nil {
+		t.Fatalf("reopen with foreign files: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+}

@@ -6,7 +6,9 @@
 # concurrency: the execution engine, the session/scaling orchestration
 # built on it, the parallel installer, the concurrency-safe build
 # cache, the telemetry layer (spans and metrics are recorded from the
-# engine's worker pool), and benchlint's concurrent package loader.
+# engine's worker pool), the durable result store and its HTTP service
+# (concurrent ingest against the WAL), and benchlint's concurrent
+# package loader.
 #
 #   ./scripts/verify.sh
 set -eu
@@ -25,6 +27,6 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/telemetry ./internal/analysis
+go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/telemetry ./internal/analysis ./internal/resultstore ./internal/resultsd
 
 echo "==> verify OK"
