@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixableEngine has exactly two findings, both with mechanical fixes:
+// a span never Ended (spanend inserts the defer) and a fresh context
+// in a function that already has a ctx parameter (ctxflow reroutes
+// it).
+const fixableEngine = `// Package engine is a fixture.
+package engine
+
+import "context"
+
+type tracer struct{}
+
+type span struct{}
+
+func (tracer) StartSpan(ctx context.Context, name string) (context.Context, *span) {
+	return ctx, &span{}
+}
+
+func (*span) End() {}
+
+func work(ctx context.Context, t tracer) error {
+	ctx, s := t.StartSpan(ctx, "work")
+	_ = ctx
+	_ = s
+	return nil
+}
+
+func mint(ctx context.Context) {
+	use(context.Background())
+}
+
+func use(ctx context.Context) { _ = ctx }
+`
+
+func TestCLIFixDiffIdempotent(t *testing.T) {
+	files := map[string]string{
+		"go.mod":                    "module tmplint\n\ngo 1.22\n",
+		"internal/engine/engine.go": fixableEngine,
+	}
+	dir := writeModule(t, files)
+	src := filepath.Join(dir, "internal", "engine", "engine.go")
+
+	// -diff previews both fixes without writing, and still exits 1:
+	// the findings are real until someone applies them.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-diff"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-diff exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	diff := stdout.String()
+	for _, want := range []string{"--- a/internal/engine/engine.go", "@@", "defer s.End()", "use(ctx)"} {
+		if !strings.Contains(diff, want) {
+			t.Errorf("-diff output missing %q:\n%s", want, diff)
+		}
+	}
+	after, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != fixableEngine {
+		t.Error("-diff modified the source tree")
+	}
+
+	// -fix applies both; repaired findings no longer gate the exit.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-fix"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-fix exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	fixed, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "defer s.End()") || !strings.Contains(string(fixed), "use(ctx)") {
+		t.Fatalf("-fix did not apply both edits:\n%s", fixed)
+	}
+
+	// The fixed tree is clean and gofmt-stable: a second -fix run
+	// finds nothing and changes nothing (idempotence).
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-fix"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -fix exit code = %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+	again, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(fixed) {
+		t.Errorf("-fix is not idempotent:\nfirst:\n%s\nsecond:\n%s", fixed, again)
+	}
+
+	// And the plain run agrees: no findings remain.
+	if code := run([]string{"-C", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("fixed module still has findings (exit %d):\n%s", code, stdout.String())
+	}
+}
+
+// TestCLIListJSON pins the machine-readable analyzer inventory the
+// verify gate asserts against.
+func TestCLIListJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list", "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list -json exit code = %d", code)
+	}
+	var entries []struct {
+		Name  string   `json:"name"`
+		Doc   string   `json:"doc"`
+		Scope []string `json:"scope"`
+		Fixes bool     `json:"fixes"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &entries); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	wantNames := []string{"ctxflow", "determinism", "stageerr", "locks", "spanend", "lockorder", "goroleak", "walack"}
+	if len(entries) != len(wantNames) {
+		t.Fatalf("inventory has %d analyzers, want %d:\n%s", len(entries), len(wantNames), stdout.String())
+	}
+	wantFixes := map[string]bool{"ctxflow": true, "spanend": true}
+	for i, e := range entries {
+		if e.Name != wantNames[i] {
+			t.Errorf("entry %d = %q, want %q", i, e.Name, wantNames[i])
+		}
+		if e.Doc == "" {
+			t.Errorf("%s: empty doc", e.Name)
+		}
+		if e.Scope == nil {
+			t.Errorf("%s: scope must be [] not null", e.Name)
+		}
+		if e.Fixes != wantFixes[e.Name] {
+			t.Errorf("%s: fixes = %v, want %v", e.Name, e.Fixes, wantFixes[e.Name])
+		}
+	}
+}
+
+// TestCLICacheCounters pins the -json cache counters: a warm run
+// replays every package (zero misses) and reports identical findings;
+// an edit brings misses back.
+func TestCLICacheCounters(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":                    "module tmplint\n\ngo 1.22\n",
+		"internal/engine/engine.go": badEngine,
+	})
+	cacheDir := t.TempDir()
+
+	type output struct {
+		Packages int
+		Cache    struct{ Hits, Misses int }
+		Findings json.RawMessage
+	}
+	runJSON := func() output {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-C", dir, "-json", "-cache", cacheDir}, &stdout, &stderr); code != 1 {
+			t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr.String())
+		}
+		var out output
+		if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+			t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+		}
+		return out
+	}
+
+	cold := runJSON()
+	if cold.Cache.Hits != 0 || cold.Cache.Misses != cold.Packages {
+		t.Fatalf("cold cache = %+v over %d packages, want all misses", cold.Cache, cold.Packages)
+	}
+	warm := runJSON()
+	if warm.Cache.Misses != 0 || warm.Cache.Hits != warm.Packages {
+		t.Fatalf("warm cache = %+v over %d packages, want all hits", warm.Cache, warm.Packages)
+	}
+	if !bytes.Equal(cold.Findings, warm.Findings) {
+		t.Errorf("warm findings differ from cold:\n cold %s\n warm %s", cold.Findings, warm.Findings)
+	}
+
+	src := filepath.Join(dir, "internal", "engine", "engine.go")
+	content, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(src, append(content, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	edited := runJSON()
+	if edited.Cache.Misses == 0 {
+		t.Error("edited package replayed from cache")
+	}
+}

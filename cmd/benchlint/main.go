@@ -9,16 +9,20 @@
 //	-C dir      run in dir (the module to lint; default ".")
 //	-json       emit findings as JSON (suppressed findings included)
 //	-run list   comma-separated analyzer subset (default: all)
-//	-list       print the analyzers and exit
+//	-list       print the analyzers and exit (-json for machine form)
+//	-fix        apply suggested fixes to the source tree
+//	-diff       print suggested fixes as unified diffs (no writes)
+//	-cache dir  incremental cache: unchanged packages replay findings
 //	-v          also print suppressed findings in text mode
 //
 // Packages default to ./...; any go list pattern works. benchlint
 // exits 0 when the module is clean, 1 on unsuppressed findings, and
-// 2 on usage or load errors. Suppress a single finding with
-// `//benchlint:ignore <analyzer> <reason>` on (or directly above) the
-// offending line; mark a documented compatibility wrapper that may
-// mint context.Background() with `//benchlint:compat` in its doc
-// comment.
+// 2 on usage or load errors. With -fix, findings repaired by an
+// applied fix no longer count against the exit code. Suppress a
+// single finding with `//benchlint:ignore <analyzer> <reason>` on (or
+// directly above) the offending line — or above the statement it sits
+// in — and mark a documented compatibility wrapper that may mint
+// context.Background() with `//benchlint:compat` in its doc comment.
 package main
 
 import (
@@ -27,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -44,6 +50,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit findings as JSON")
 		runList  = fs.String("run", "", "comma-separated analyzers to run (default all)")
 		list     = fs.Bool("list", false, "list analyzers and exit")
+		fix      = fs.Bool("fix", false, "apply suggested fixes to the source tree")
+		diff     = fs.Bool("diff", false, "print suggested fixes as unified diffs without applying them")
+		cacheDir = fs.String("cache", "", "incremental analysis cache directory (empty disables)")
 		verbose  = fs.Bool("v", false, "print suppressed findings too")
 		jobsFlag = fs.Int("jobs", 0, "parse/type-check parallelism (default GOMAXPROCS)")
 	)
@@ -65,27 +74,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 		analyzers = selected
 	}
 	if *list {
-		for _, a := range analyzers {
-			scope := "all packages"
-			if len(a.Scope) > 0 {
-				scope = strings.Join(a.Scope, ", ")
-			}
-			fmt.Fprintf(stdout, "%-12s %s [%s]\n", a.Name, a.Doc, scope)
-		}
-		return 0
+		return listAnalyzers(stdout, stderr, analyzers, *jsonOut)
+	}
+	if *fix && *diff {
+		fmt.Fprintln(stderr, "benchlint: -fix and -diff are mutually exclusive (use -diff to preview, -fix to apply)")
+		return 2
 	}
 
-	loader := analysis.Loader{Jobs: *jobsFlag}
-	mod, pkgs, err := loader.LoadModule(*dir, fs.Args()...)
+	res, err := analysis.RunModule(analysis.RunOptions{
+		Dir:       *dir,
+		Patterns:  fs.Args(),
+		Analyzers: analyzers,
+		Jobs:      *jobsFlag,
+		CacheDir:  *cacheDir,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "benchlint: %v\n", err)
 		return 2
 	}
-	findings := analysis.Run(pkgs, analyzers, mod.Path, mod.Root)
+	findings := res.Findings
+
+	// fixedOut[i] marks findings whose fixes -fix applied (they no
+	// longer gate the exit code) or -diff would apply.
+	fixedOut := make([]bool, len(findings))
+	if *fix || *diff {
+		contents, applied, err := analysis.ApplyFixes(res.Module.Root, findings)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchlint: %v\n", err)
+			return 2
+		}
+		for _, file := range sortedFiles(contents) {
+			path := filepath.Join(res.Module.Root, file)
+			old, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchlint: %v\n", err)
+				return 2
+			}
+			if *diff {
+				fmt.Fprint(stdout, analysis.UnifiedDiff(file, old, contents[file]))
+				continue
+			}
+			if err := os.WriteFile(path, contents[file], 0o644); err != nil {
+				fmt.Fprintf(stderr, "benchlint: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "benchlint: fixed %s\n", file)
+		}
+		if *fix {
+			fixedOut = applied
+		}
+	}
 
 	unsuppressed := 0
-	for _, f := range findings {
-		if !f.Suppressed {
+	for i, f := range findings {
+		if !f.Suppressed && !fixedOut[i] {
 			unsuppressed++
 		}
 	}
@@ -94,8 +136,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out := struct {
 			Module   string             `json:"module"`
 			Packages int                `json:"packages"`
+			Cache    cacheStats         `json:"cache"`
 			Findings []analysis.Finding `json:"findings"`
-		}{Module: mod.Path, Packages: len(pkgs), Findings: findings}
+		}{
+			Module:   res.Module.Path,
+			Packages: len(res.Packages),
+			Cache:    cacheStats{Hits: res.CacheHits, Misses: res.CacheMisses},
+			Findings: findings,
+		}
 		if out.Findings == nil {
 			out.Findings = []analysis.Finding{}
 		}
@@ -105,22 +153,81 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "benchlint: %v\n", err)
 			return 2
 		}
-	} else {
-		for _, f := range findings {
+	} else if !*diff {
+		for i, f := range findings {
 			if f.Suppressed {
 				if *verbose {
 					fmt.Fprintf(stdout, "%s (suppressed: %s)\n", f, f.Reason)
 				}
 				continue
 			}
+			if fixedOut[i] {
+				continue
+			}
 			fmt.Fprintln(stdout, f.String())
 		}
 		if unsuppressed > 0 {
-			fmt.Fprintf(stderr, "benchlint: %d finding(s) in %d package(s)\n", unsuppressed, len(pkgs))
+			fmt.Fprintf(stderr, "benchlint: %d finding(s) in %d package(s)\n", unsuppressed, len(res.Packages))
 		}
 	}
 	if unsuppressed > 0 {
 		return 1
 	}
 	return 0
+}
+
+type cacheStats struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// listAnalyzers prints the analyzer inventory, human- or
+// machine-readable. The JSON form is what the verify gate pins the
+// expected analyzer set against.
+func listAnalyzers(stdout, stderr io.Writer, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	if jsonOut {
+		type entry struct {
+			Name  string   `json:"name"`
+			Doc   string   `json:"doc"`
+			Scope []string `json:"scope"`
+			Fixes bool     `json:"fixes"`
+		}
+		out := make([]entry, 0, len(analyzers))
+		for _, a := range analyzers {
+			scope := a.Scope
+			if scope == nil {
+				scope = []string{}
+			}
+			out = append(out, entry{Name: a.Name, Doc: a.Doc, Scope: scope, Fixes: a.EmitsFixes})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "benchlint: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	for _, a := range analyzers {
+		scope := "all packages"
+		if len(a.Scope) > 0 {
+			scope = strings.Join(a.Scope, ", ")
+		}
+		fixes := ""
+		if a.EmitsFixes {
+			fixes = " (fixes)"
+		}
+		fmt.Fprintf(stdout, "%-12s %s [%s]%s\n", a.Name, a.Doc, scope, fixes)
+	}
+	return 0
+}
+
+// sortedFiles returns the changed-file keys in stable order.
+func sortedFiles(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -49,6 +49,9 @@ type Analyzer struct {
 	// Scope lists the module-relative package paths the analyzer is
 	// confined to (e.g. "internal/engine"). Empty means every package.
 	Scope []string
+	// EmitsFixes marks analyzers that attach machine-applicable fixes
+	// to (some of) their findings; `benchlint -list` surfaces it.
+	EmitsFixes bool
 	// Run inspects one package and reports findings on the pass.
 	Run func(*Pass)
 }
@@ -72,6 +75,13 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 
+	// Facts holds this package's exported facts; AllFacts maps import
+	// path → facts for every package analyzed so far (dependencies
+	// first — packages are processed in import order), including this
+	// one. Interprocedural analyzers read callee behavior from here.
+	Facts    *PackageFacts
+	AllFacts map[string]*PackageFacts
+
 	findings []Finding
 }
 
@@ -86,14 +96,70 @@ func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFix(pos, nil, format, args...)
+}
+
+// ReportFix records a finding at pos carrying suggested fixes.
+func (p *Pass) ReportFix(pos token.Pos, fixes []Fix, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	p.findings = append(p.findings, Finding{
 		Analyzer: p.Analyzer.Name,
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
+		StmtLine: p.stmtLine(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
+	})
+}
+
+// ReportAt records a finding at an explicit file position, for
+// analyzers (lockorder) whose evidence comes from serialized facts
+// rather than this package's AST. The file is module-relative as
+// stored in the fact.
+func (p *Pass) ReportAt(file string, line, col int, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     file,
+		Line:     line,
+		Col:      col,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// stmtLine is the first line of the innermost statement enclosing
+// pos, or 0 when pos sits outside any statement (e.g. a declaration).
+// Suppression directives anchor to it, so an ignore comment above a
+// multi-line statement covers findings on the statement's inner lines.
+func (p *Pass) stmtLine(pos token.Pos) int {
+	for _, file := range p.Pkg.Files {
+		if pos < file.Pos() || pos > file.End() {
+			continue
+		}
+		var innermost ast.Stmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil || pos < n.Pos() || pos >= n.End() {
+				return false
+			}
+			if s, ok := n.(ast.Stmt); ok {
+				innermost = s
+			}
+			return true
+		})
+		if innermost != nil {
+			return p.Pkg.Fset.Position(innermost.Pos()).Line
+		}
+		return 0
+	}
+	return 0
+}
+
+// editReplace builds a TextEdit replacing the source range
+// [start, end) with newText; use start == end for a pure insertion.
+func (p *Pass) editReplace(start, end token.Pos, newText string) TextEdit {
+	s := p.Pkg.Fset.Position(start)
+	e := p.Pkg.Fset.Position(end)
+	return TextEdit{File: s.Filename, Start: s.Offset, End: e.Offset, NewText: newText}
 }
 
 // IsCompat reports whether the function declaration carries a
@@ -130,6 +196,15 @@ type Finding struct {
 	// directive; Reason carries the directive's justification.
 	Suppressed bool   `json:"suppressed,omitempty"`
 	Reason     string `json:"reason,omitempty"`
+	// Fixes are the machine-applicable repairs, when the analyzer has
+	// one for this finding.
+	Fixes []Fix `json:"fixes,omitempty"`
+
+	// StmtLine is the first line of the statement the finding sits in
+	// (0 if none) — the anchor suppression directives match against.
+	// Internal: not part of the JSON schema, not restored on cache
+	// replay (replayed findings are already suppression-resolved).
+	StmtLine int `json:"-"`
 }
 
 // String renders the canonical file:line:col: analyzer: message form.
@@ -140,37 +215,75 @@ func (f Finding) String() string {
 // Run applies every analyzer whose scope matches to every package,
 // applies the suppression directives, normalizes file paths to be
 // relative to modRoot, and returns the findings sorted by position.
+// Facts are computed for all packages first (in import order), so
+// interprocedural analyzers see their dependencies' behavior.
 func Run(pkgs []*Package, analyzers []*Analyzer, modPath, modRoot string) []Finding {
+	facts := ComputeFacts(pkgs, modPath, modRoot)
+	byPath := map[string]*Package{}
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		paths = append(paths, p.ImportPath)
+	}
+	// Each package sees its own facts plus its transitive in-module
+	// dependencies' — the same visibility the incremental runner
+	// reproduces from cache, so both paths report identically.
+	closure := moduleDeps(paths, func(p string) []string { return byPath[p].Imports })
 	var all []Finding
 	for _, pkg := range pkgs {
-		// A mistyped directive must not silently disable a check.
-		for _, d := range pkg.Directives {
-			if d.Malformed != "" {
-				all = append(all, Finding{
-					Analyzer: "directive",
-					File:     relPath(modRoot, d.File),
-					Line:     d.Line,
-					Col:      1,
-					Message:  d.Malformed,
-				})
-			}
+		visible := map[string]*PackageFacts{pkg.ImportPath: facts[pkg.ImportPath]}
+		for _, dep := range closure[pkg.ImportPath] {
+			visible[dep] = facts[dep]
 		}
-		for _, a := range analyzers {
-			if !a.AppliesTo(modPath, pkg.ImportPath) {
-				continue
-			}
-			pass := &Pass{Analyzer: a, Pkg: pkg}
-			a.Run(pass)
-			for _, f := range pass.findings {
-				if d, ok := suppressedBy(pkg, f); ok {
-					f.Suppressed = true
-					f.Reason = d.Reason
-				}
-				f.File = relPath(modRoot, f.File)
-				all = append(all, f)
-			}
+		all = append(all, runPackage(pkg, analyzers, modPath, modRoot, facts[pkg.ImportPath], visible)...)
+	}
+	SortFindings(all)
+	return all
+}
+
+// runPackage applies the matching analyzers to one package and
+// returns its suppression-resolved, path-normalized findings. The
+// incremental runner (runner.go) calls this per cache miss.
+func runPackage(pkg *Package, analyzers []*Analyzer, modPath, modRoot string, facts *PackageFacts, allFacts map[string]*PackageFacts) []Finding {
+	var out []Finding
+	// A mistyped directive must not silently disable a check.
+	for _, d := range pkg.Directives {
+		if d.Malformed != "" {
+			out = append(out, Finding{
+				Analyzer: "directive",
+				File:     relPath(modRoot, d.File),
+				Line:     d.Line,
+				Col:      1,
+				Message:  d.Malformed,
+			})
 		}
 	}
+	for _, a := range analyzers {
+		if !a.AppliesTo(modPath, pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, AllFacts: allFacts}
+		a.Run(pass)
+		for _, f := range pass.findings {
+			if d, ok := suppressedBy(pkg, f); ok {
+				f.Suppressed = true
+				f.Reason = d.Reason
+			}
+			f.File = relPath(modRoot, f.File)
+			for i := range f.Fixes {
+				for j := range f.Fixes[i].Edits {
+					f.Fixes[i].Edits[j].File = relPath(modRoot, f.Fixes[i].Edits[j].File)
+				}
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SortFindings orders findings by file, line, column, analyzer — the
+// canonical output order.
+func SortFindings(all []Finding) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.File != b.File {
@@ -184,22 +297,37 @@ func Run(pkgs []*Package, analyzers []*Analyzer, modPath, modRoot string) []Find
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return all
 }
 
 // suppressedBy finds an ignore directive covering the finding: same
-// analyzer, same file, on the finding's line or alone on the line
-// directly above it.
+// analyzer, same file, on the finding's line, on the first line of
+// the finding's enclosing statement, or alone on the line directly
+// above either — so an ignore above a multi-line composite literal or
+// chained call still matches a finding on an inner line.
 func suppressedBy(pkg *Package, f Finding) (Directive, bool) {
 	for _, d := range pkg.Directives {
-		if d.Kind != DirectiveIgnore || d.Analyzer != f.Analyzer || d.File != f.File {
+		if d.Kind != DirectiveIgnore || d.Analyzer != f.Analyzer || !sameFile(d.File, f.File) {
 			continue
 		}
 		if d.Line == f.Line || d.Line == f.Line-1 {
 			return d, true
 		}
+		if f.StmtLine > 0 && (d.Line == f.StmtLine || d.Line == f.StmtLine-1) {
+			return d, true
+		}
 	}
 	return Directive{}, false
+}
+
+// sameFile tolerates one side being module-relative (ReportAt
+// findings carry fact-recorded relative paths; directives carry the
+// loader's absolute paths).
+func sameFile(a, b string) bool {
+	if a == b {
+		return true
+	}
+	return strings.HasSuffix(filepath.ToSlash(a), "/"+filepath.ToSlash(b)) ||
+		strings.HasSuffix(filepath.ToSlash(b), "/"+filepath.ToSlash(a))
 }
 
 func relPath(root, file string) string {

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// The incremental cache lets the verify gate skip re-typechecking
+// packages that have not changed. A package's entry is keyed by the
+// content hash of its files plus the fact hashes of its in-module
+// dependencies, so an invariant-relevant change anywhere below a
+// package transparently invalidates it; a cache hit replays the
+// package's findings and facts byte-for-byte.
+//
+// Corruption is never an error: any entry that fails to read, parse,
+// or match its key is treated as a miss and overwritten by the cold
+// result.
+
+// CacheSchema versions the entry format; bump on shape changes so
+// stale entries read as misses.
+const CacheSchema = "benchlint-cache-1"
+
+// cacheEntry is one package's serialized analysis result.
+type cacheEntry struct {
+	Schema   string        `json:"schema"`
+	Key      string        `json:"key"`
+	Facts    *PackageFacts `json:"facts"`
+	Findings []Finding     `json:"findings"`
+}
+
+// analyzerFingerprint digests the analyzer set's observable identity;
+// changing an analyzer's name, doc, scope, or fix capability (the
+// proxies for "its behavior may differ") invalidates every entry.
+func analyzerFingerprint(analyzers []*Analyzer) string {
+	h := sha256.New()
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00%v\n", a.Name, a.Doc, strings.Join(a.Scope, ","), a.EmitsFixes)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheKey derives a package's cache key from everything its analysis
+// result depends on: format schemas, toolchain, analyzer set, the
+// package's own file contents, and its in-module dependencies' fact
+// hashes (sorted for stability).
+func cacheKey(t *listPackage, fingerprint string, depFactHashes map[string]string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s\n", CacheSchema, FactsSchema, runtime.Version(), fingerprint, t.ImportPath)
+	for _, name := range t.GoFiles {
+		f, err := os.Open(filepath.Join(t.Dir, name))
+		if err != nil {
+			return "", err
+		}
+		fh := sha256.New()
+		_, err = io.Copy(fh, f)
+		f.Close()
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %s %x\n", name, fh.Sum(nil))
+	}
+	deps := make([]string, 0, len(depFactHashes))
+	for path := range depFactHashes {
+		deps = append(deps, path)
+	}
+	sort.Strings(deps)
+	for _, path := range deps {
+		fmt.Fprintf(h, "dep %s %s\n", path, depFactHashes[path])
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cachePath names the entry file for an import path: a hash, so
+// slashes and other path characters never leak into file names.
+func cachePath(dir, importPath string) string {
+	sum := sha256.Sum256([]byte(importPath))
+	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// loadCacheEntry reads a package's entry and validates it against the
+// expected key. Any failure — missing file, bad JSON, schema or key
+// mismatch, facts that fail their own schema check — is a miss.
+func loadCacheEntry(dir, importPath, wantKey string) (*cacheEntry, bool) {
+	data, err := os.ReadFile(cachePath(dir, importPath))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Schema != CacheSchema || e.Key != wantKey {
+		return nil, false
+	}
+	if e.Facts == nil || e.Facts.Schema != FactsSchema || e.Facts.Path != importPath {
+		return nil, false
+	}
+	return &e, true
+}
+
+// storeCacheEntry writes a package's entry, atomically enough for a
+// cache: a temp file in the same directory renamed into place, so a
+// concurrent reader sees the old entry or the new one, never a torn
+// write. Store failures are returned but callers may ignore them —
+// a cache that cannot persist only costs time.
+func storeCacheEntry(dir, importPath string, e *cacheEntry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	path := cachePath(dir, importPath)
+	tmp, err := os.CreateTemp(dir, "entry-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// cacheModuleFiles is a one-package module with one unsuppressed and
+// one suppressed finding, so replayed findings carry every field the
+// suppression machinery sets.
+var cacheModuleFiles = map[string]string{
+	"go.mod": "module cachemod\n\ngo 1.22\n",
+	"internal/engine/engine.go": `// Package engine is a fixture.
+package engine
+
+import "context"
+
+func run() error {
+	ctx := context.TODO()
+	_ = ctx
+	return nil
+}
+
+func wrapped() {
+	//benchlint:ignore ctxflow fixture keeps the wrapper
+	use(context.Background())
+}
+
+func use(ctx context.Context) { _ = ctx }
+`,
+}
+
+func runCached(t *testing.T, dir, cacheDir string) *ModuleResult {
+	t.Helper()
+	res, err := RunModule(RunOptions{Dir: dir, Analyzers: Suite(), CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCacheWarmReplay pins the incremental contract: a warm run
+// re-typechecks zero unchanged packages and reproduces the cold run's
+// findings byte for byte.
+func TestCacheWarmReplay(t *testing.T) {
+	dir := writeTestModule(t, cacheModuleFiles)
+	cacheDir := t.TempDir()
+
+	cold := runCached(t, dir, cacheDir)
+	if cold.CacheHits != 0 || cold.CacheMisses == 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0 hits and >0 misses", cold.CacheHits, cold.CacheMisses)
+	}
+	if len(cold.Findings) == 0 {
+		t.Fatal("fixture module produced no findings")
+	}
+
+	warm := runCached(t, dir, cacheDir)
+	if warm.CacheMisses != 0 {
+		t.Fatalf("warm run re-analyzed %d package(s); want pure replay", warm.CacheMisses)
+	}
+	if warm.CacheHits != cold.CacheMisses {
+		t.Errorf("warm hits = %d, want %d (every cold miss replayed)", warm.CacheHits, cold.CacheMisses)
+	}
+	if !reflect.DeepEqual(stripStmtLines(cold.Findings), warm.Findings) {
+		t.Errorf("warm findings differ from cold:\n cold %+v\n warm %+v", cold.Findings, warm.Findings)
+	}
+}
+
+// stripStmtLines zeroes the internal (non-serialized) StmtLine field
+// so cold findings compare against cache-replayed ones, which never
+// carry it — suppression is resolved before entries are stored.
+func stripStmtLines(in []Finding) []Finding {
+	out := append([]Finding(nil), in...)
+	for i := range out {
+		out[i].StmtLine = 0
+	}
+	return out
+}
+
+// TestCacheCorruptionFallsBack pins the failure mode: a corrupted
+// entry is a cold miss, never an error, and the re-analysis rewrites
+// it.
+func TestCacheCorruptionFallsBack(t *testing.T) {
+	dir := writeTestModule(t, cacheModuleFiles)
+	cacheDir := t.TempDir()
+
+	cold := runCached(t, dir, cacheDir)
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no cache entries written (err=%v)", err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(e, []byte("{definitely not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recovered := runCached(t, dir, cacheDir)
+	if recovered.CacheHits != 0 || recovered.CacheMisses != cold.CacheMisses {
+		t.Errorf("after corruption: hits=%d misses=%d, want full cold re-analysis (%d misses)",
+			recovered.CacheHits, recovered.CacheMisses, cold.CacheMisses)
+	}
+	if !reflect.DeepEqual(stripStmtLines(cold.Findings), stripStmtLines(recovered.Findings)) {
+		t.Errorf("findings changed after corruption fallback:\n cold %+v\n got %+v", cold.Findings, recovered.Findings)
+	}
+
+	warm := runCached(t, dir, cacheDir)
+	if warm.CacheMisses != 0 {
+		t.Errorf("corrupted entries were not rewritten: warm run still has %d misses", warm.CacheMisses)
+	}
+}
+
+// TestCacheInvalidatesOnEdit pins the key: touching a file's content
+// invalidates that package (and only adds misses, never errors).
+func TestCacheInvalidatesOnEdit(t *testing.T) {
+	dir := writeTestModule(t, cacheModuleFiles)
+	cacheDir := t.TempDir()
+	runCached(t, dir, cacheDir)
+
+	src := filepath.Join(dir, "internal", "engine", "engine.go")
+	content, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(src, append(content, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	edited := runCached(t, dir, cacheDir)
+	if edited.CacheMisses == 0 {
+		t.Error("edited package replayed from cache; content hash is not in the key")
+	}
+}

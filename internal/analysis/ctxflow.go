@@ -14,9 +14,10 @@ import (
 // files), and in documented compatibility wrappers whose doc comment
 // carries //benchlint:compat.
 var CtxFlow = &Analyzer{
-	Name: "ctxflow",
-	Doc:  "contexts must flow from callers; Background/TODO only in main, tests, and //benchlint:compat wrappers",
-	Run:  runCtxFlow,
+	Name:       "ctxflow",
+	Doc:        "contexts must flow from callers; Background/TODO only in main, tests, and //benchlint:compat wrappers",
+	EmitsFixes: true,
+	Run:        runCtxFlow,
 }
 
 func runCtxFlow(pass *Pass) {
@@ -27,7 +28,7 @@ func runCtxFlow(pass *Pass) {
 			if !ok {
 				// Package-level initializers can also mint contexts.
 				if pass.Pkg.Name != "main" {
-					reportFreshContexts(pass, decl)
+					reportFreshContexts(pass, decl, "")
 				}
 				continue
 			}
@@ -36,7 +37,7 @@ func runCtxFlow(pass *Pass) {
 				continue
 			}
 			if fn.Body != nil {
-				reportFreshContexts(pass, fn.Body)
+				reportFreshContexts(pass, fn.Body, ctxParamName(pass, fn))
 			}
 		}
 	}
@@ -44,8 +45,10 @@ func runCtxFlow(pass *Pass) {
 }
 
 // reportFreshContexts flags every context.Background()/context.TODO()
-// call under n.
-func reportFreshContexts(pass *Pass, n ast.Node) {
+// call under n. When the enclosing function already has a named
+// context parameter (ctxParam), the mechanical repair — use it — is
+// attached as a fix.
+func reportFreshContexts(pass *Pass, n ast.Node, ctxParam string) {
 	ast.Inspect(n, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -55,11 +58,38 @@ func reportFreshContexts(pass *Pass, n ast.Node) {
 		if !ok || (name != "Background" && name != "TODO") {
 			return true
 		}
-		pass.Reportf(call.Pos(),
+		var fixes []Fix
+		if ctxParam != "" {
+			fixes = []Fix{{
+				Message: "use the caller's context " + ctxParam,
+				Edits:   []TextEdit{pass.editReplace(call.Pos(), call.End(), ctxParam)},
+			}}
+		}
+		pass.ReportFix(call.Pos(), fixes,
 			"context.%s() severs the cancellation chain; take a context.Context from the caller (or mark a documented wrapper //benchlint:compat)",
 			name)
 		return true
 	})
+}
+
+// ctxParamName returns the name of the function's first named
+// context.Context parameter, or "" when there is none to route the
+// fix through.
+func ctxParamName(pass *Pass, fn *ast.FuncDecl) string {
+	if fn.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fn.Type.Params.List {
+		if !isContextType(pass.TypesInfo().TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
 }
 
 // contextPackageFunc resolves a call to a function of package context.

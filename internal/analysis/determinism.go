@@ -23,6 +23,9 @@ var Determinism = &Analyzer{
 		"internal/concretizer",
 		"internal/spec",
 		"internal/yamlite",
+		// benchlint checks itself: findings, facts, and cache entries
+		// must be byte-identical run to run.
+		"internal/analysis",
 	},
 	Run: runDeterminism,
 }

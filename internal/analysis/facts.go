@@ -1,0 +1,630 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The fact system makes benchlint interprocedural without importing
+// x/tools: every package analysis exports a small set of typed facts
+// about its functions — "fsyncs a file on some path", "acquires lock
+// class L", "returns when its context/done channel closes" — and
+// packages that depend on it import those facts instead of re-reading
+// its source. Facts are computed in import-graph order (Go imports
+// are acyclic), serialized as canonical JSON, and hashed; the hash
+// feeds the dependent packages' incremental-cache keys (cache.go), so
+// a fact change in a leaf package transparently invalidates everyone
+// above it.
+//
+// Facts are deliberately approximate in the safe direction for each
+// consumer (see the analyzer docs): function literals are folded into
+// their enclosing function except goroutine bodies, dynamic calls
+// through interfaces contribute nothing, and lock identity is the
+// lock *class* (owning named type + field) rather than the instance —
+// the standard choice for order-based deadlock detection.
+
+// FactsSchema tags the serialized fact format; bump it when FuncFact
+// changes shape so stale cache entries read as misses.
+const FactsSchema = "benchlint-facts-1"
+
+// LockEdge is one observed "acquired To while holding From" pair, the
+// unit the lockorder analyzer builds its whole-module graph from.
+type LockEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// File/Line locate the acquisition (or the call that transitively
+	// acquires), relative to the module root.
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// FuncFact is what one function exports to its callers. All boolean
+// facts are transitive: a function calling a helper with the fact has
+// the fact itself.
+type FuncFact struct {
+	// Syncs: the function calls (*os.File).Sync on some path,
+	// directly or through a callee. walack treats a call to a Syncs
+	// function as flushing the WAL.
+	Syncs bool `json:"syncs,omitempty"`
+	// Writes: the function writes bytes to an *os.File or io.Writer,
+	// directly or through a callee. walack treats a call to a Writes
+	// function as dirtying the WAL (any prior sync no longer covers
+	// the ack).
+	Writes bool `json:"writes,omitempty"`
+	// CtxBound: the function's body blocks on channel state — a
+	// select, a receive, or a range over a channel — directly or
+	// through a callee, so a goroutine running it terminates when its
+	// context/done channel is closed.
+	CtxBound bool `json:"ctx_bound,omitempty"`
+	// CallsDone: the function calls (*sync.WaitGroup).Done, directly
+	// or through a callee, so a goroutine running it is joinable via
+	// the WaitGroup.
+	CallsDone bool `json:"calls_done,omitempty"`
+	// Acquires lists the lock classes the function may take,
+	// transitively, sorted.
+	Acquires []string `json:"acquires,omitempty"`
+	// Edges are the held-while-acquiring pairs observed in this
+	// function's body (including pairs completed through callees).
+	Edges []LockEdge `json:"edges,omitempty"`
+}
+
+func (f *FuncFact) empty() bool {
+	return !f.Syncs && !f.Writes && !f.CtxBound && !f.CallsDone &&
+		len(f.Acquires) == 0 && len(f.Edges) == 0
+}
+
+// PackageFacts is every non-empty FuncFact of one package, keyed by
+// the function's fully-qualified name (types.Func.FullName).
+type PackageFacts struct {
+	Schema string               `json:"schema"`
+	Path   string               `json:"path"`
+	Funcs  map[string]*FuncFact `json:"funcs"`
+}
+
+// Fact returns the fact exported for a fully-qualified function name,
+// or nil. Nil-safe.
+func (pf *PackageFacts) Fact(key string) *FuncFact {
+	if pf == nil {
+		return nil
+	}
+	return pf.Funcs[key]
+}
+
+// EncodeFacts serializes facts canonically: encoding/json emits map
+// keys sorted, and every slice is sorted at construction time, so the
+// same facts always encode to the same bytes (FactsHash depends on
+// this).
+func EncodeFacts(pf *PackageFacts) ([]byte, error) {
+	return json.Marshal(pf)
+}
+
+// DecodeFacts parses a serialized fact set, rejecting unknown
+// schemas so a format change can never smuggle stale facts in.
+func DecodeFacts(data []byte) (*PackageFacts, error) {
+	var pf PackageFacts
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return nil, fmt.Errorf("analysis: decoding facts: %w", err)
+	}
+	if pf.Schema != FactsSchema {
+		return nil, fmt.Errorf("analysis: facts schema %q, want %q", pf.Schema, FactsSchema)
+	}
+	return &pf, nil
+}
+
+// FactsHash is the canonical content hash of a fact set; dependent
+// packages mix it into their cache keys.
+func FactsHash(pf *PackageFacts) string {
+	data, err := EncodeFacts(pf)
+	if err != nil {
+		// Facts are plain data; Marshal cannot fail on them. Guard
+		// anyway so a future shape change fails loudly in tests.
+		panic(fmt.Sprintf("analysis: encoding facts: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// sortedKeys returns m's keys sorted, so map iteration order never
+// leaks into facts, findings, or cache files.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ComputeFacts computes facts for every package, in import order, so
+// each package sees its module dependencies' facts. The returned map
+// is keyed by import path.
+func ComputeFacts(pkgs []*Package, modPath, modRoot string) map[string]*PackageFacts {
+	facts := make(map[string]*PackageFacts, len(pkgs))
+	for _, pkg := range topoPackages(pkgs) {
+		facts[pkg.ImportPath] = computePackageFacts(pkg, modPath, modRoot, facts)
+	}
+	return facts
+}
+
+// topoPackages orders packages so every package follows its
+// in-module dependencies. Go's import graph is acyclic; if Imports
+// data is missing the input order is preserved.
+func topoPackages(pkgs []*Package) []*Package {
+	byPath := map[string]*Package{}
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		paths = append(paths, p.ImportPath)
+	}
+	order := topoOrder(paths, func(path string) []string { return byPath[path].Imports })
+	if order == nil {
+		return pkgs // cycle or missing data; fall back to input order
+	}
+	out := make([]*Package, len(order))
+	for i, path := range order {
+		out[i] = byPath[path]
+	}
+	return out
+}
+
+// topoOrder sorts paths so every path follows the subset of its
+// imports that are themselves in paths (Kahn's algorithm with a
+// sorted ready set, for determinism). Returns nil on a cycle.
+func topoOrder(paths []string, imports func(string) []string) []string {
+	in := map[string]bool{}
+	for _, p := range paths {
+		in[p] = true
+	}
+	indeg := map[string]int{}
+	dependents := map[string][]string{}
+	for _, p := range paths {
+		indeg[p] += 0
+		for _, imp := range imports(p) {
+			if !in[imp] || imp == p {
+				continue
+			}
+			indeg[p]++
+			dependents[imp] = append(dependents[imp], p)
+		}
+	}
+	ready := []string{}
+	for _, path := range sortedKeys(indeg) {
+		if indeg[path] == 0 {
+			ready = append(ready, path)
+		}
+	}
+	var order []string
+	for len(ready) > 0 {
+		sort.Strings(ready)
+		path := ready[0]
+		ready = ready[1:]
+		order = append(order, path)
+		for _, dep := range dependents[path] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+	}
+	if len(order) != len(paths) {
+		return nil
+	}
+	return order
+}
+
+// moduleDeps computes each path's transitive dependency closure,
+// restricted to the given path set, sorted. Interprocedural analyzers
+// see exactly this closure's facts, which is what makes cache keys
+// (own files + closure fact hashes) sound.
+func moduleDeps(paths []string, imports func(string) []string) map[string][]string {
+	in := map[string]bool{}
+	for _, p := range paths {
+		in[p] = true
+	}
+	memo := map[string]map[string]bool{}
+	var visit func(path string) map[string]bool
+	visit = func(path string) map[string]bool {
+		if got, ok := memo[path]; ok {
+			return got
+		}
+		set := map[string]bool{}
+		memo[path] = set // break unexpected cycles
+		for _, imp := range imports(path) {
+			if !in[imp] || imp == path {
+				continue
+			}
+			set[imp] = true
+			for dep := range visit(imp) {
+				set[dep] = true
+			}
+		}
+		return set
+	}
+	out := make(map[string][]string, len(paths))
+	for _, p := range paths {
+		out[p] = sortedKeys(visit(p))
+	}
+	return out
+}
+
+// callRef is one statically-resolved call to a module (or
+// same-package) function.
+type callRef struct {
+	pkg string // callee's package path
+	key string // callee's fully-qualified name
+	pos token.Pos
+}
+
+// lockRegion is the span of one acquisition: from just after the Lock
+// call to the matching straight-line unlock, or to the end of the
+// enclosing statement list for deferred (or missing) unlocks.
+type lockRegion struct {
+	class      string
+	start, end token.Pos
+}
+
+// rawFunc is the per-function collection the fixpoint runs over.
+type rawFunc struct {
+	fact    *FuncFact
+	calls   []callRef
+	regions []lockRegion
+	acqs    []acqSite
+}
+
+// acqSite is one direct lock acquisition.
+type acqSite struct {
+	class string
+	pos   token.Pos
+}
+
+// computePackageFacts derives one package's facts from its AST plus
+// the facts of already-computed dependencies. A fixpoint over the
+// package-local call graph propagates the transitive facts (Go
+// packages are acyclic, but functions within one package are not).
+func computePackageFacts(pkg *Package, modPath, modRoot string, deps map[string]*PackageFacts) *PackageFacts {
+	raws := map[string]*rawFunc{}
+	var order []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			rf := collectRawFunc(pkg, modPath, fn.Body)
+			raws[obj.FullName()] = rf
+			order = append(order, obj.FullName())
+		}
+	}
+	sort.Strings(order)
+
+	lookup := func(c callRef) *FuncFact {
+		if rf, ok := raws[c.key]; ok && c.pkg == pkg.ImportPath {
+			return rf.fact
+		}
+		return deps[c.pkg].Fact(c.key)
+	}
+
+	// Seed each function's Acquires with its direct acquisitions; the
+	// fixpoint below adds the transitive ones.
+	for _, key := range order {
+		rf := raws[key]
+		for _, a := range rf.acqs {
+			if !containsString(rf.fact.Acquires, a.class) {
+				rf.fact.Acquires = append(rf.fact.Acquires, a.class)
+			}
+		}
+	}
+
+	// Propagate transitive facts to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, key := range order {
+			rf := raws[key]
+			f := rf.fact
+			for _, c := range rf.calls {
+				cf := lookup(c)
+				if cf == nil {
+					continue
+				}
+				if cf.Syncs && !f.Syncs {
+					f.Syncs, changed = true, true
+				}
+				if cf.Writes && !f.Writes {
+					f.Writes, changed = true, true
+				}
+				if cf.CtxBound && !f.CtxBound {
+					f.CtxBound, changed = true, true
+				}
+				if cf.CallsDone && !f.CallsDone {
+					f.CallsDone, changed = true, true
+				}
+				for _, a := range cf.Acquires {
+					if !containsString(f.Acquires, a) {
+						f.Acquires = append(f.Acquires, a)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// With transitive Acquires settled, materialize the lock edges:
+	// anything acquired (directly or via a call) inside a held region
+	// is ordered after that region's lock.
+	for _, key := range order {
+		rf := raws[key]
+		f := rf.fact
+		seen := map[string]bool{}
+		addEdge := func(from, to string, pos token.Pos) {
+			ek := from + "\x00" + to
+			if seen[ek] {
+				return
+			}
+			seen[ek] = true
+			p := pkg.Fset.Position(pos)
+			f.Edges = append(f.Edges, LockEdge{
+				From: from, To: to,
+				File: relPath(modRoot, p.Filename), Line: p.Line,
+			})
+		}
+		for _, reg := range rf.regions {
+			for _, a := range rf.acqs {
+				if a.class != reg.class && reg.start < a.pos && a.pos <= reg.end {
+					addEdge(reg.class, a.class, a.pos)
+				}
+			}
+			for _, c := range rf.calls {
+				if !(reg.start < c.pos && c.pos <= reg.end) {
+					continue
+				}
+				cf := lookup(c)
+				if cf == nil {
+					continue
+				}
+				for _, a := range cf.Acquires {
+					addEdge(reg.class, a, c.pos)
+				}
+			}
+		}
+		sort.Slice(f.Edges, func(i, j int) bool {
+			a, b := f.Edges[i], f.Edges[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Line < b.Line
+		})
+		sort.Strings(f.Acquires)
+	}
+
+	pf := &PackageFacts{Schema: FactsSchema, Path: pkg.ImportPath, Funcs: map[string]*FuncFact{}}
+	for _, key := range order {
+		if f := raws[key].fact; !f.empty() {
+			pf.Funcs[key] = f
+		}
+	}
+	return pf
+}
+
+func containsString(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// collectRawFunc gathers one function body's direct facts: calls,
+// lock regions and acquisitions, and the sync/write/channel markers.
+// Function literals are folded in (they run on the same goroutine
+// when invoked inline) except goroutine bodies — a `go func(){…}()`
+// neither syncs nor holds locks on the spawner's behalf; goroleak
+// analyzes those bodies itself.
+func collectRawFunc(pkg *Package, modPath string, body *ast.BlockStmt) *rawFunc {
+	rf := &rawFunc{fact: &FuncFact{}}
+	scanLockRegions(pkg, body.List, body.End(), rf)
+	collectFuncEvents(pkg, modPath, body, rf)
+	return rf
+}
+
+// collectFuncEvents walks the body (skipping goroutine literals)
+// recording calls and boolean markers.
+func collectFuncEvents(pkg *Package, modPath string, n ast.Node, rf *rawFunc) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned body runs concurrently; its effects are not
+			// the spawner's. Arguments to the call are still evaluated
+			// here, but benchlint's targets never hide effects there.
+			return false
+		case *ast.SelectStmt:
+			rf.fact.CtxBound = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				rf.fact.CtxBound = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					rf.fact.CtxBound = true
+				}
+			}
+		case *ast.CallExpr:
+			classifyCall(pkg, modPath, n, rf)
+		}
+		return true
+	})
+}
+
+// classifyCall records one call expression's contribution: a direct
+// sync/write marker, a WaitGroup.Done, or a statically-resolved
+// module call for the fixpoint.
+func classifyCall(pkg *Package, modPath string, call *ast.CallExpr, rf *rawFunc) {
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ = pkg.Info.Uses[fun.Sel].(*types.Func)
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[fun].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		switch fn.Name() {
+		case "Sync":
+			rf.fact.Syncs = true
+		case "Write", "WriteString", "WriteAt":
+			rf.fact.Writes = true
+		}
+		return
+	case "io":
+		if fn.Name() == "Write" || fn.Name() == "WriteString" {
+			rf.fact.Writes = true
+		}
+		return
+	case "sync":
+		if fn.Name() == "Done" {
+			rf.fact.CallsDone = true
+		}
+		return
+	}
+	if fn.Pkg() == pkg.Types || fn.Pkg().Path() == modPath ||
+		strings.HasPrefix(fn.Pkg().Path(), modPath+"/") {
+		rf.calls = append(rf.calls, callRef{pkg: fn.Pkg().Path(), key: fn.FullName(), pos: call.Pos()})
+	}
+}
+
+// scanLockRegions finds every Lock/RLock with a resolvable lock class
+// in a statement list and records the region it is held over: up to
+// the straight-line unlock, or to listEnd for deferred (or missing)
+// unlocks. Nested blocks are scanned recursively; function literals
+// are skipped (their locks are their own).
+func scanLockRegions(pkg *Package, stmts []ast.Stmt, listEnd token.Pos, rf *rawFunc) {
+	for i, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			scanLockRegions(pkg, s.List, s.End(), rf)
+		case *ast.IfStmt:
+			scanLockRegions(pkg, s.Body.List, s.Body.End(), rf)
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				scanLockRegions(pkg, blk.List, blk.End(), rf)
+			}
+		case *ast.ForStmt:
+			scanLockRegions(pkg, s.Body.List, s.Body.End(), rf)
+		case *ast.RangeStmt:
+			scanLockRegions(pkg, s.Body.List, s.Body.End(), rf)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockRegions(pkg, cc.Body, cc.End(), rf)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanLockRegions(pkg, cc.Body, cc.End(), rf)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					scanLockRegions(pkg, cc.Body, cc.End(), rf)
+				}
+			}
+		}
+
+		class, method, recv := lockClassCall(pkg, stmt)
+		if class == "" || (method != "Lock" && method != "RLock") {
+			continue
+		}
+		rf.acqs = append(rf.acqs, acqSite{class: class, pos: stmt.Pos()})
+		unlock := unlockFor(method)
+		end := listEnd
+		for _, next := range stmts[i+1:] {
+			if c2, m2, r2 := lockClassCall(pkg, next); c2 == class && m2 == unlock && r2 == recv {
+				end = next.Pos()
+				break
+			}
+		}
+		rf.regions = append(rf.regions, lockRegion{class: class, start: stmt.End(), end: end})
+	}
+}
+
+// lockClassCall matches an ExprStmt calling a sync.Mutex/RWMutex
+// Lock/RLock/Unlock/RUnlock and resolves the lock's class: the owning
+// named type plus field name (`pkg.Type.field`), or the package path
+// plus variable name for package-level locks. Locals have no class —
+// their ordering is instance-specific, which a class graph cannot
+// judge.
+func lockClassCall(pkg *Package, stmt ast.Stmt) (class, method, recv string) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", "", ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", ""
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", ""
+	}
+	return lockClass(pkg, sel.X), sel.Sel.Name, types.ExprString(sel.X)
+}
+
+// lockClass names the lock class of the expression the Lock method is
+// called on.
+func lockClass(pkg *Package, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		// s.mu, c.r.mu: class = owning named type + field.
+		if t := deref(pkg.Info.TypeOf(e.X)); t != nil {
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		// A package-level lock var; locals have no class.
+		if obj := pkg.Info.Uses[e]; obj != nil && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+		}
+	}
+	return ""
+}
+
+func deref(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

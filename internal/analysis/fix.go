@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The suggested-fix engine: analyzers attach machine-applicable edits
+// to findings, and cmd/benchlint applies them (-fix) or previews them
+// (-diff). Applied output is run through go/format, so a fix is only
+// accepted when the edited file still parses and gofmts — a botched
+// edit fails loudly rather than corrupting source.
+
+// TextEdit replaces the byte range [Start, End) of File with NewText.
+// Offsets are 0-based byte offsets into the file as loaded; File is
+// relative to the module root like Finding.File.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// Fix is one suggested repair for a finding: a human-readable message
+// and the edits that implement it. Edits within one Fix must not
+// overlap.
+type Fix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// ApplyFixes computes the post-fix content of every file any finding's
+// fixes touch. Suppressed findings contribute nothing. When two fixes
+// overlap, the one from the earlier finding (the slice is sorted by
+// position) wins and the later one is dropped — applying the survivors
+// and re-running converges because fixed findings stop being reported.
+// Returns the new contents keyed by module-relative path and, aligned
+// with findings, whether each finding's fixes were applied in full.
+func ApplyFixes(modRoot string, findings []Finding) (map[string][]byte, []bool, error) {
+	type plannedEdit struct {
+		TextEdit
+		finding int
+	}
+	planned := map[string][]plannedEdit{}
+	applied := make([]bool, len(findings))
+	for i, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		for _, fix := range f.Fixes {
+			ok := true
+			for _, e := range fix.Edits {
+				for _, prev := range planned[e.File] {
+					if e.Start < prev.End && prev.Start < e.End {
+						ok = false
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			applied[i] = true
+			for _, e := range fix.Edits {
+				planned[e.File] = append(planned[e.File], plannedEdit{TextEdit: e, finding: i})
+			}
+		}
+	}
+
+	out := map[string][]byte{}
+	for _, file := range sortedKeys(planned) {
+		path := file
+		if modRoot != "" && !filepath.IsAbs(path) {
+			path = filepath.Join(modRoot, file)
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		edits := planned[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				return nil, nil, fmt.Errorf("analysis: fix edit out of range in %s: [%d,%d) of %d bytes", file, e.Start, e.End, len(src))
+			}
+			src = append(src[:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: fixed %s does not parse: %w", file, err)
+		}
+		out[file] = formatted
+	}
+	return out, applied, nil
+}
+
+// UnifiedDiff renders a minimal unified diff (3 context lines) between
+// a file's old and new content, for benchlint -diff.
+func UnifiedDiff(path string, oldSrc, newSrc []byte) string {
+	a := splitLines(string(oldSrc))
+	b := splitLines(string(newSrc))
+	ops := diffLines(a, b)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", path, path)
+
+	const ctx = 3
+	i := 0
+	for i < len(ops) {
+		// Skip runs of equal lines to the next change.
+		for i < len(ops) && ops[i].kind == ' ' {
+			i++
+		}
+		if i >= len(ops) {
+			break
+		}
+		start := i - ctx
+		if start < 0 {
+			start = 0
+		}
+		// Extend the hunk over changes separated by <= 2*ctx equal lines.
+		end := i
+		for j := i; j < len(ops); j++ {
+			if ops[j].kind != ' ' {
+				end = j + 1
+			} else if j-end >= 2*ctx {
+				break
+			}
+		}
+		stop := end + ctx
+		if stop > len(ops) {
+			stop = len(ops)
+		}
+
+		aStart, aLen, bStart, bLen := 0, 0, 0, 0
+		for _, op := range ops[:start] {
+			if op.kind != '+' {
+				aStart++
+			}
+			if op.kind != '-' {
+				bStart++
+			}
+		}
+		for _, op := range ops[start:stop] {
+			if op.kind != '+' {
+				aLen++
+			}
+			if op.kind != '-' {
+				bLen++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aLen, bStart+1, bLen)
+		for _, op := range ops[start:stop] {
+			sb.WriteByte(byte(op.kind))
+			sb.WriteString(op.text)
+			sb.WriteByte('\n')
+		}
+		i = stop
+	}
+	return sb.String()
+}
+
+type diffOp struct {
+	kind rune // ' ', '-', '+'
+	text string
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// diffLines computes a line diff via the classic LCS table; lint fixes
+// touch small files, so quadratic space is fine.
+func diffLines(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{' ', a[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{'-', a[i]})
+			i++
+		default:
+			ops = append(ops, diffOp{'+', b[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{'-', a[i]})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{'+', b[j]})
+	}
+	return ops
+}

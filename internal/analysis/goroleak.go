@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak enforces the goroutine-lifetime discipline of the
+// concurrent packages: every goroutine spawned there must be joinable
+// or bounded — it calls (*sync.WaitGroup).Done (the spawner Waits),
+// or it blocks on channel state (a select, a receive, or a range over
+// a channel, which is how context cancellation and done-channel
+// shutdown reach it). A goroutine with neither runs until process
+// exit: a leak under the engine's bounded-concurrency contract and a
+// shutdown hazard for the resultsd service.
+//
+// The check is interprocedural through facts: `go s.compactor()` is
+// fine because compactor's fact says it selects on the store's done
+// channel, wherever that function lives.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every goroutine is joined (WaitGroup) or bounded (select/receive on a ctx or done channel)",
+	Scope: []string{
+		"internal/engine", "internal/resultstore", "internal/resultsd",
+		"internal/analysis", "cmd/benchlint",
+	},
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineBounded(pass, g.Call) {
+				pass.Reportf(g.Pos(),
+					"goroutine is neither joined via a WaitGroup nor bounded by a ctx/done channel; it can outlive its spawner")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineBounded reports whether the spawned call is provably
+// joined or bounded: a function literal whose body (or a callee, via
+// facts) waits on channel state or calls WaitGroup.Done, or a named
+// function whose fact says the same.
+func goroutineBounded(pass *Pass, call *ast.CallExpr) bool {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return funcLitBounded(pass, lit)
+	}
+	if f := calleeFact(pass, call); f != nil {
+		return f.CtxBound || f.CallsDone
+	}
+	return false
+}
+
+// funcLitBounded inspects a goroutine literal directly: the same
+// markers the fact computation uses, plus fact lookups for the
+// functions it calls.
+func funcLitBounded(pass *Pass, lit *ast.FuncLit) bool {
+	bounded := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != lit {
+				return false // a nested goroutine is its own problem
+			}
+		case *ast.SelectStmt:
+			bounded = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				bounded = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo().TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					bounded = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupDone(pass, n) {
+				bounded = true
+			} else if f := calleeFact(pass, n); f != nil && (f.CtxBound || f.CallsDone) {
+				bounded = true
+			}
+		}
+		return true
+	})
+	return bounded
+}
+
+// isWaitGroupDone matches a (*sync.WaitGroup).Done call.
+func isWaitGroupDone(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	fn, ok := pass.TypesInfo().Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+}
+
+// calleeFact resolves a static call to its exported fact, looking in
+// this package's facts first and then the imported fact sets.
+func calleeFact(pass *Pass, call *ast.CallExpr) *FuncFact {
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo().Uses[fun.Sel].(*types.Func)
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo().Uses[fun].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg() == pass.Pkg.Types {
+		return pass.Facts.Fact(fn.FullName())
+	}
+	return pass.AllFacts[fn.Pkg().Path()].Fact(fn.FullName())
+}

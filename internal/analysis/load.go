@@ -24,6 +24,9 @@ type Package struct {
 	ImportPath string
 	Dir        string
 	Name       string
+	// Imports are the package's direct imports as go list reports
+	// them; the fact computation orders packages with it.
+	Imports    []string
 	Fset       *token.FileSet
 	FileNames  []string
 	Files      []*ast.File
@@ -68,6 +71,7 @@ type listPackage struct {
 	Export     string
 	Standard   bool
 	GoFiles    []string
+	Imports    []string
 	Module     *struct{ Path string }
 }
 
@@ -182,6 +186,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 			paths = append(paths, p)
 		}
 		sort.Strings(paths)
+		target.Imports = paths
 		listed, err := goList(abs, paths)
 		if err != nil {
 			return nil, err
@@ -202,7 +207,14 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 // loadPackages parses and type-checks the target packages on the
 // worker pool, resolving all imports through the export map.
 func (l *Loader) loadPackages(fset *token.FileSet, targets []*listPackage, exports map[string]string) ([]*Package, error) {
-	imp := newExportImporter(fset, exports)
+	return l.loadPackagesWith(fset, newExportImporter(fset, exports), targets)
+}
+
+// loadPackagesWith is loadPackages with a caller-owned importer, so
+// the incremental runner can re-type-check only the cache-missed
+// packages while sharing one importer (and its loaded-dependency map)
+// across calls.
+func (l *Loader) loadPackagesWith(fset *token.FileSet, imp *exportImporter, targets []*listPackage) ([]*Package, error) {
 	jobs := l.jobs()
 
 	// Parse every file of every package concurrently. token.FileSet
@@ -219,6 +231,7 @@ func (l *Loader) loadPackages(fset *token.FileSet, targets []*listPackage, expor
 			ImportPath: t.ImportPath,
 			Dir:        t.Dir,
 			Name:       t.Name,
+			Imports:    t.Imports,
 			Fset:       fset,
 			FileNames:  make([]string, len(t.GoFiles)),
 			Files:      make([]*ast.File, len(t.GoFiles)),

@@ -12,10 +12,23 @@ import (
 // not ended never reaches the tracer, so it silently vanishes from
 // every trace export.
 var SpanEnd = &Analyzer{
-	Name:  "spanend",
-	Doc:   "every StartSpan has a matching End on every return path",
-	Scope: []string{"internal/engine", "internal/core", "internal/ci", "internal/install", "internal/telemetry", "internal/resultstore", "internal/resultsd"},
-	Run:   runSpanEnd,
+	Name:       "spanend",
+	Doc:        "every StartSpan has a matching End on every return path",
+	Scope:      []string{"internal/engine", "internal/core", "internal/ci", "internal/install", "internal/telemetry", "internal/resultstore", "internal/resultsd"},
+	EmitsFixes: true,
+	Run:        runSpanEnd,
+}
+
+// deferEndFix builds the mechanical repair for an unended span:
+// insert `defer span.End()` directly after the StartSpan statement.
+// Span.End is documented idempotent ("Ending twice is a no-op"), so
+// the defer is safe even when an explicit End already covers some
+// paths.
+func deferEndFix(pass *Pass, start ast.Stmt, span string) []Fix {
+	return []Fix{{
+		Message: "defer " + span + ".End() immediately after StartSpan",
+		Edits:   []TextEdit{pass.editReplace(start.End(), start.End(), "\ndefer "+span+".End()")},
+	}}
 }
 
 func runSpanEnd(pass *Pass) {
@@ -147,14 +160,14 @@ func scanSpanPairs(pass *Pass, stmts []ast.Stmt, funcBody bool) {
 				break
 			}
 			if escapesUnended(next, span) {
-				pass.Reportf(stmt.Pos(),
+				pass.ReportFix(stmt.Pos(), deferEndFix(pass, stmt, span),
 					"span %s is not Ended on every return path; defer %s.End() immediately after StartSpan", span, span)
 				ended = true // reported; stop tracking this span
 				break
 			}
 		}
 		if !ended && funcBody {
-			pass.Reportf(stmt.Pos(),
+			pass.ReportFix(stmt.Pos(), deferEndFix(pass, stmt, span),
 				"span %s has no matching %s.End() before the function returns", span, span)
 		}
 	}

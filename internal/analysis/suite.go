@@ -1,10 +1,12 @@
 package analysis
 
 // Suite returns benchlint's project-invariant analyzers, in the order
-// they are documented: the five rules the execution engine's
-// correctness rests on (DESIGN.md "Enforced invariants").
+// they are documented: the five intra-package rules the execution
+// engine's correctness rests on (DESIGN.md "Enforced invariants"),
+// followed by the three interprocedural ones built on the fact system
+// (DESIGN.md §10).
 func Suite() []*Analyzer {
-	return []*Analyzer{CtxFlow, Determinism, StageErr, Locks, SpanEnd}
+	return []*Analyzer{CtxFlow, Determinism, StageErr, Locks, SpanEnd, LockOrder, GoroLeak, WalAck}
 }
 
 // ByName resolves a comma-separated selection against the suite.

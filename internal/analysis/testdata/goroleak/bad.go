@@ -1,0 +1,24 @@
+// Package fixture exercises the goroleak analyzer: goroutines with
+// no WaitGroup join and no channel bound, spawned as a literal and
+// through a named function.
+package fixture
+
+var sink int
+
+func spin() {
+	for {
+		sink++
+	}
+}
+
+func bareLoop() {
+	go func() { //want goroleak
+		for {
+			sink++
+		}
+	}()
+}
+
+func namedLeak() {
+	go spin() //want goroleak
+}

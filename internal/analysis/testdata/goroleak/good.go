@@ -1,0 +1,39 @@
+// Near-miss: the same spawn shapes as bad.go, each bounded — a
+// method whose fact says it selects on a done channel, a WaitGroup
+// join, and a range over a channel.
+package fixture
+
+import "sync"
+
+type server struct{ done chan struct{} }
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func startServer(s *server) {
+	go s.loop()
+}
+
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sink++
+	}()
+	wg.Wait()
+}
+
+func drains(ch chan int) {
+	go func() {
+		for range ch {
+			sink++
+		}
+	}()
+}

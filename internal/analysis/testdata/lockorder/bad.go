@@ -1,0 +1,28 @@
+// Package fixture exercises the lockorder analyzer: two paths that
+// take the same pair of lock classes in opposite orders, one of them
+// closing the cycle through a helper function's Acquires fact.
+package fixture
+
+import "sync"
+
+type alpha struct{ mu sync.Mutex }
+
+type beta struct{ mu sync.Mutex }
+
+func lockAlphaBeta(a *alpha, b *beta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() //want lockorder
+	defer b.mu.Unlock()
+}
+
+func lockBetaAlpha(a *alpha, b *beta) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	acquireAlpha(a)
+}
+
+func acquireAlpha(a *alpha) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}

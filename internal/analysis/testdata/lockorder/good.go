@@ -1,0 +1,28 @@
+// Near-miss: the same shapes as bad.go — nested acquisition, one of
+// them through a helper — but every path orders gamma before delta,
+// so the graph is acyclic and nothing is reported.
+package fixture
+
+import "sync"
+
+type gamma struct{ mu sync.Mutex }
+
+type delta struct{ mu sync.Mutex }
+
+func lockGammaDelta(g *gamma, d *delta) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+func lockGammaDeltaViaHelper(g *gamma, d *delta) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	acquireDelta(d)
+}
+
+func acquireDelta(d *delta) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the walack analyzer: acknowledgement
+// paths (nil error returns from Append/Commit-shaped functions) that
+// a WAL write reaches with no fsync — directly, through a writing
+// helper's fact, and with a sync that a later write invalidates.
+package fixture
+
+import "os"
+
+type wal struct{ f *os.File }
+
+func (w *wal) Append(payload []byte) (bool, error) {
+	if len(payload) == 0 {
+		return false, nil // near-miss: nothing written yet
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return false, err
+	}
+	return true, nil //want walack
+}
+
+func (w *wal) CommitVia(payload []byte) error {
+	writeRecord(w.f, payload)
+	return nil //want walack
+}
+
+func (w *wal) FlushStale(payload []byte) error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	return nil //want walack
+}
+
+func writeRecord(f *os.File, p []byte) {
+	f.Write(p)
+}

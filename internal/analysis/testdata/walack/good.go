@@ -1,0 +1,35 @@
+// Near-miss: the same acknowledgement shapes as bad.go, each with
+// the fsync dominating the nil return — directly, and transitively
+// through a helper whose fact says it writes and then syncs.
+package fixture
+
+import "os"
+
+type durable struct{ f *os.File }
+
+func (w *durable) Append(payload []byte) (bool, error) {
+	if len(payload) == 0 {
+		return false, nil
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return false, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (w *durable) CommitVia(payload []byte) error {
+	if err := writeSynced(w.f, payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writeSynced(f *os.File, p []byte) error {
+	if _, err := f.Write(p); err != nil {
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WalAck enforces the result store's durability contract (DESIGN §9):
+// a batch is acknowledged — an ingest/commit-shaped function returns
+// a nil error — only after the WAL bytes it wrote are fsynced. An ack
+// without an fsync turns "acknowledged batches survive a crash" into
+// a lie the power-cut torture test exists to prevent.
+//
+// The check is interprocedural through facts: a write performed by a
+// helper (appendRecord) and a sync performed by another helper both
+// count, transitively. The approximation is flow-order within the
+// function body: a write after the last sync re-dirties the file, so
+// a nil return is flagged unless a sync (direct `(*os.File).Sync` or
+// a call whose fact says Syncs) happens after the last write and
+// before the return.
+var WalAck = &Analyzer{
+	Name:  "walack",
+	Doc:   "ingest/commit paths fsync the WAL before acknowledging (returning nil)",
+	Scope: []string{"internal/resultstore"},
+	Run:   runWalAck,
+}
+
+// ackNames are the function-name markers of an acknowledgement path.
+var ackNames = []string{"Append", "Ingest", "Commit", "Flush", "Ack"}
+
+func runWalAck(pass *Pass) {
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isAckFunc(fn) {
+				continue
+			}
+			if !returnsError(pass, fn.Type) {
+				continue
+			}
+			checkAckSyncs(pass, fn)
+		}
+	}
+}
+
+func isAckFunc(fn *ast.FuncDecl) bool {
+	for _, m := range ackNames {
+		if strings.Contains(fn.Name.Name, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsError reports whether the function's last result is an
+// error.
+func returnsError(pass *Pass, ftype *ast.FuncType) bool {
+	if ftype.Results == nil || len(ftype.Results.List) == 0 {
+		return false
+	}
+	last := ftype.Results.List[len(ftype.Results.List)-1]
+	t := pass.TypesInfo().TypeOf(last.Type)
+	return t != nil && isErrorType(t)
+}
+
+// checkAckSyncs walks the body in source order tracking two bits:
+// "the WAL is dirty" (a write happened since the last sync) and
+// flags every `return …, nil` reached while dirty. Goroutine and
+// closure bodies are skipped — they do not run on the ack path.
+func checkAckSyncs(pass *Pass, fn *ast.FuncDecl) {
+	dirty := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			switch classifyAckCall(pass, n) {
+			case ackWrite:
+				dirty = true
+			case ackSync:
+				dirty = false
+			case ackWriteSync:
+				// The callee writes and then syncs internally
+				// (atomic-write helpers): the file ends clean.
+				dirty = false
+			}
+		case *ast.ReturnStmt:
+			if dirty && isNilErrorReturn(n) {
+				pass.Reportf(n.Pos(),
+					"%s acknowledges the batch (returns nil) after a WAL write with no fsync on the path; call Sync before returning (or route the ack through a synced helper)",
+					fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+type ackCallKind int
+
+const (
+	ackOther ackCallKind = iota
+	ackWrite
+	ackSync
+	ackWriteSync
+)
+
+// classifyAckCall labels a call's durability effect: a direct file
+// write, a direct fsync, or — via facts — a helper that does either
+// (or both, in write-then-sync order).
+func classifyAckCall(pass *Pass, call *ast.CallExpr) ackCallKind {
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo().Uses[fun.Sel].(*types.Func)
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo().Uses[fun].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return ackOther
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		switch fn.Name() {
+		case "Sync":
+			return ackSync
+		case "Write", "WriteString", "WriteAt":
+			return ackWrite
+		}
+		return ackOther
+	case "io":
+		if fn.Name() == "Write" || fn.Name() == "WriteString" {
+			return ackWrite
+		}
+		return ackOther
+	}
+	f := calleeFact(pass, call)
+	if f == nil {
+		return ackOther
+	}
+	switch {
+	case f.Writes && f.Syncs:
+		return ackWriteSync
+	case f.Writes:
+		return ackWrite
+	case f.Syncs:
+		return ackSync
+	}
+	return ackOther
+}
+
+// isNilErrorReturn matches a return whose final (error) result is the
+// nil literal.
+func isNilErrorReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	id, ok := ret.Results[len(ret.Results)-1].(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWalackFlagsSeededFsyncSkip is the durability-analyzer
+// acceptance test: a copy of the real module with Store.Append's
+// fsync stripped out (the exact mutation a power-cut data-loss bug
+// would be) must produce a walack finding, while the untouched tree
+// produces none (cmd/benchlint's TestRepoIsClean pins that half).
+func TestWalackFlagsSeededFsyncSkip(t *testing.T) {
+	root := copyModule(t, "../..")
+
+	store := filepath.Join(root, "internal", "resultstore", "store.go")
+	src, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const syncLine = "werr = s.active.Sync()"
+	if n := strings.Count(string(src), syncLine); n != 1 {
+		t.Fatalf("found %d occurrences of %q in store.go, want 1 (mutation site moved?)", n, syncLine)
+	}
+	mutated := strings.Replace(string(src), syncLine, "werr = nil", 1)
+	if err := os.WriteFile(store, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunModule(RunOptions{
+		Dir:       root,
+		Patterns:  []string{"./internal/resultstore"},
+		Analyzers: []*Analyzer{WalAck},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []Finding
+	for _, f := range res.Findings {
+		if f.Analyzer == "walack" && !f.Suppressed {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("walack missed the fsync-skipping mutation of Store.Append")
+	}
+	for _, f := range hits {
+		if f.File != "internal/resultstore/store.go" {
+			t.Errorf("finding in %s, want internal/resultstore/store.go", f.File)
+		}
+		if !strings.Contains(f.Message, "Append") {
+			t.Errorf("finding does not name the ack function: %s", f.Message)
+		}
+	}
+}
+
+// copyModule clones the module's go.mod and internal/ tree into a
+// temp dir (testdata fixtures excluded — they are not part of any
+// build) so tests can mutate source freely.
+func copyModule(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	for _, top := range []string{"go.mod", "internal"} {
+		err := filepath.WalkDir(filepath.Join(src, top), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() && d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			rel, err := filepath.Rel(src, path)
+			if err != nil {
+				return err
+			}
+			out := filepath.Join(dst, rel)
+			if d.IsDir() {
+				return os.MkdirAll(out, 0o755)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(out, data, 0o644)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}

@@ -7,8 +7,10 @@
 # built on it, the parallel installer, the concurrency-safe build
 # cache, the telemetry layer (spans and metrics are recorded from the
 # engine's worker pool), the durable result store and its HTTP service
-# (concurrent ingest against the WAL), and benchlint's concurrent
-# package loader.
+# (concurrent ingest against the WAL), benchlint's concurrent
+# package loader, and the benchlint CLI whose tests drive that loader
+# end to end. A -diff dry-run also fails the gate when mechanical
+# fixes exist that nobody applied.
 #
 #   ./scripts/verify.sh
 set -eu
@@ -23,10 +25,18 @@ go vet ./...
 echo "==> benchlint (project invariants)"
 go run ./cmd/benchlint
 
+echo "==> benchlint -diff (no unapplied mechanical fixes)"
+fixes=$(go run ./cmd/benchlint -diff || true)
+if [ -n "$fixes" ]; then
+	echo "$fixes"
+	echo "verify: unapplied mechanical fixes exist; run 'go run ./cmd/benchlint -fix'" >&2
+	exit 1
+fi
+
 echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/telemetry ./internal/analysis ./internal/resultstore ./internal/resultsd
+go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/telemetry ./internal/analysis ./internal/resultstore ./internal/resultsd ./cmd/benchlint
 
 echo "==> verify OK"
