@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cachekey"
 	"repro/internal/core"
 	"repro/internal/dashboard"
 	"repro/internal/hpcsim"
@@ -50,8 +51,31 @@ type execOpts struct {
 	timeout  time.Duration
 	traceOut string
 	logLevel string
+	cacheDir string // durable content-addressed cache (--cache-dir)
+	noCache  bool   // disable all caching, including the in-memory memo
 
 	tracer *telemetry.Tracer // created by instrument when traceOut is set
+}
+
+// attachCache wires the incremental-pipeline cache into a deployment:
+// --cache-dir opens (or creates) the durable store so concretization,
+// built binaries and experiment outcomes persist across invocations;
+// --no-cache switches every cache layer off, including the in-memory
+// concretization memo.
+func (o *execOpts) attachCache(bp *core.Benchpark) error {
+	if o.noCache {
+		bp.Memo = nil
+		return nil
+	}
+	if o.cacheDir == "" {
+		return nil
+	}
+	st, err := cachekey.Open(o.cacheDir)
+	if err != nil {
+		return err
+	}
+	bp.UseCache(st)
+	return nil
 }
 
 // context returns the context the engine runs under.
@@ -169,6 +193,14 @@ func parseGlobalFlags(args []string) (execOpts, []string, error) {
 			}
 			opts.logLevel = args[i+1]
 			i++
+		case "--cache-dir", "-cache-dir":
+			if i+1 >= len(args) {
+				return opts, nil, fmt.Errorf("%s needs a directory", args[i])
+			}
+			opts.cacheDir = args[i+1]
+			i++
+		case "--no-cache", "-no-cache":
+			opts.noCache = true
 		default:
 			rest = append(rest, args[i])
 		}
@@ -274,11 +306,18 @@ global flags (accepted anywhere, --flag value or --flag=value):
   --trace-out F    write the run's telemetry trace to F; the extension
                    picks the format (.json trace, .cali Caliper
                    profile, .prom Prometheus text)
-  --log-level L    structured logs on stderr (debug|info|warn|error)`)
+  --log-level L    structured logs on stderr (debug|info|warn|error)
+  --cache-dir D    durable content-addressed cache: concretization,
+                   built binaries and experiment outcomes persist in D
+                   and warm re-runs replay instead of re-executing
+  --no-cache       disable every cache layer for this invocation`)
 }
 
 func runSuite(suite, system, dir string, opts *execOpts) error {
 	bp := core.New()
+	if err := opts.attachCache(bp); err != nil {
+		return err
+	}
 	sess, err := bp.Setup(suite, system, dir)
 	if err != nil {
 		return err
@@ -312,6 +351,12 @@ func runSuite(suite, system, dir string, opts *execOpts) error {
 	}
 	fmt.Printf("==> batch makespan %.1fs (simulated), utilization %.1f%%\n",
 		sess.Scheduler.Makespan(), 100*sess.Scheduler.Utilization())
+	if erep != nil {
+		for _, cs := range erep.Cache {
+			fmt.Printf("==> cache[%s]: hits=%d misses=%d bytes=%d\n",
+				cs.Layer, cs.Hits, cs.Misses, cs.Bytes)
+		}
+	}
 	if opts.tracer != nil && erep != nil {
 		if s := erep.TimingSummary(); s != "" {
 			fmt.Print("==> stage timings\n" + s)

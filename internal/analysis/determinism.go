@@ -23,6 +23,9 @@ var Determinism = &Analyzer{
 		"internal/concretizer",
 		"internal/spec",
 		"internal/yamlite",
+		// The cache-key layer must derive identical keys run to run, or
+		// every warm re-run silently goes cold.
+		"internal/cachekey",
 		// benchlint checks itself: findings, facts, and cache entries
 		// must be byte-identical run to run.
 		"internal/analysis",

@@ -24,6 +24,9 @@ var GoroLeak = &Analyzer{
 	Scope: []string{
 		"internal/engine", "internal/resultstore", "internal/resultsd",
 		"internal/analysis", "cmd/benchlint",
+		// The on-disk cache is hit by concurrent writers (engine worker
+		// pool, CI runners); any goroutine it spawns must be bounded.
+		"internal/cachekey", "internal/buildcache",
 	},
 	Run: runGoroLeak,
 }

@@ -20,9 +20,13 @@ import (
 // a call whose fact says Syncs) happens after the last write and
 // before the return.
 var WalAck = &Analyzer{
-	Name:  "walack",
-	Doc:   "ingest/commit paths fsync the WAL before acknowledging (returning nil)",
-	Scope: []string{"internal/resultstore"},
+	Name: "walack",
+	Doc:  "ingest/commit paths fsync the WAL before acknowledging (returning nil)",
+	// The cachekey store shares the contract: Store.Commit must sync
+	// entry bytes before renaming them into place — a torn entry that
+	// was "committed" is exactly the corruption the torture tests
+	// exist to catch early.
+	Scope: []string{"internal/resultstore", "internal/cachekey"},
 	Run:   runWalAck,
 }
 

@@ -9,9 +9,11 @@
 package buildcache
 
 import (
+	"encoding/json"
 	"sort"
 	"sync"
 
+	"repro/internal/cachekey"
 	"repro/internal/telemetry"
 )
 
@@ -29,9 +31,15 @@ type Entry struct {
 }
 
 // Cache is an S3-like binary cache, content-addressed by spec hash.
+// By default it is in-memory only; Persist attaches a durable
+// cachekey.Layer so entries survive the process and are shared across
+// CI jobs.
 type Cache struct {
 	mu      sync.RWMutex
 	entries map[string]Entry
+
+	// layer, when set, durably mirrors every entry (write-through).
+	layer *cachekey.Layer
 
 	hits, misses, puts int
 
@@ -49,23 +57,73 @@ func New() *Cache {
 // registry as buildcache_hits_total / buildcache_misses_total /
 // buildcache_puts_total counters. A nil registry leaves the cache
 // uninstrumented.
+//
+// Counts accumulated before Instrument — including entries restored
+// by Persist on another instance sharing the same durable layer — are
+// backfilled into the counters, so Stats() and the telemetry mirrors
+// agree no matter when instrumentation is attached.
 func (c *Cache) Instrument(reg *telemetry.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hitCtr = reg.Counter("buildcache_hits_total")
 	c.missCtr = reg.Counter("buildcache_misses_total")
 	c.putCtr = reg.Counter("buildcache_puts_total")
+	c.hitCtr.Add(float64(c.hits))
+	c.missCtr.Add(float64(c.misses))
+	c.putCtr.Add(float64(c.puts))
+}
+
+// entryKey maps a spec DAG hash to its durable store key.
+func entryKey(hash string) cachekey.Key {
+	return cachekey.Hash(hash).Derive("buildcache")
+}
+
+// Persist attaches a durable cache layer: entries already on disk are
+// restored into memory (corrupt or undecodable entries are skipped —
+// a cold miss, never a wrong hit) and every future Put writes
+// through. Restored entries do not count as puts; only this process's
+// own traffic moves the statistics.
+func (c *Cache) Persist(l *cachekey.Layer) int {
+	restored := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.layer = l
+	for _, k := range l.Keys() {
+		data, ok := l.Get(k)
+		if !ok {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil || e.Hash == "" {
+			continue
+		}
+		if entryKey(e.Hash) != k {
+			continue // entry filed under a foreign key: ignore
+		}
+		if _, have := c.entries[e.Hash]; !have {
+			c.entries[e.Hash] = e
+			restored++
+		}
+	}
+	return restored
 }
 
 // Put stores an entry under its hash. Content addressing makes the
 // operation idempotent: re-pushing the same hash overwrites in place
-// rather than duplicating.
+// rather than duplicating. With a durable layer attached the entry is
+// also written through to disk; a disk failure keeps the in-memory
+// entry (the cache degrades to this process, it never errors a build).
 func (c *Cache) Put(e Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.puts++
 	c.putCtr.Inc()
 	c.entries[e.Hash] = e
+	if c.layer != nil {
+		if data, err := json.Marshal(e); err == nil {
+			c.layer.Put(entryKey(e.Hash), data) //nolint:errcheck // cache write failure must not fail the build
+		}
+	}
 }
 
 // Get fetches the entry for a hash, recording a hit or a miss.

@@ -1,0 +1,56 @@
+package concretizer
+
+import (
+	"testing"
+
+	"repro/internal/pkgrepo"
+	"repro/internal/spec"
+)
+
+// benchRoots is the Figure 10 environment: the saxpy root plus the
+// site MPI, concretized together.
+func benchRoots(b *testing.B) []*spec.Spec {
+	b.Helper()
+	return []*spec.Spec{
+		spec.MustParse("mvapich2"),
+		spec.MustParse("saxpy@1.0.0 +openmp ^cmake@3.23.1"),
+	}
+}
+
+// BenchmarkConcretizeTogetherCold solves the environment from scratch
+// every iteration — the pre-memo cost of each session's install stage.
+func BenchmarkConcretizeTogetherCold(b *testing.B) {
+	repo := pkgrepo.Builtin()
+	cfg := testConfig(b)
+	for i := 0; i < b.N; i++ {
+		c := New(repo, cfg)
+		if _, err := c.ConcretizeTogether(benchRoots(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcretizeTogetherMemoWarm replays the solve from a shared
+// memo: the per-session cost once any session of the deployment has
+// concretized the same environment.
+func BenchmarkConcretizeTogetherMemoWarm(b *testing.B) {
+	repo := pkgrepo.Builtin()
+	cfg := testConfig(b)
+	memo := NewMemo()
+	prime := New(repo, cfg)
+	prime.Memo = memo
+	if _, err := prime.ConcretizeTogether(benchRoots(b)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New(repo, cfg)
+		c.Memo = memo
+		if _, err := c.ConcretizeTogether(benchRoots(b)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s := memo.Stats(); s.Hits < b.N {
+		b.Fatalf("memo hits = %d, want at least %d", s.Hits, b.N)
+	}
+}

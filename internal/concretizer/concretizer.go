@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/archspec"
+	"repro/internal/cachekey"
 	"repro/internal/pkgrepo"
 	"repro/internal/spec"
 )
@@ -14,6 +15,11 @@ import (
 type Concretizer struct {
 	Repo   *pkgrepo.Repo
 	Config *Config
+
+	// Memo, when set, short-circuits ConcretizeTogether for inputs it
+	// has solved before (the "concretize" layer of the incremental
+	// pipeline). nil disables memoization.
+	Memo *Memo
 }
 
 // New returns a concretizer.
@@ -36,7 +42,35 @@ func (c *Concretizer) Concretize(abstract *spec.Spec) (*spec.Spec, error) {
 // ConcretizeTogether resolves a set of roots. With
 // Config.ReuseFromContext (unify: true), all roots share one concrete
 // node per package name; otherwise each root is solved independently.
+//
+// With a Memo attached, the solve is keyed by the configuration
+// fingerprint derived with the abstract root renderings
+// (Config.Fingerprint().Derive("concretize", ...)); repeated requests
+// replay the stored DAG, decoded fresh on every hit so callers never
+// share mutable nodes with the cache. The key is computed here — not
+// at construction — because callers (internal/env) toggle Config
+// fields around the call.
 func (c *Concretizer) ConcretizeTogether(roots []*spec.Spec) ([]*spec.Spec, error) {
+	if c.Memo == nil {
+		return c.concretizeTogether(roots)
+	}
+	rootStrs := make([]string, len(roots))
+	for i, r := range roots {
+		rootStrs[i] = r.String()
+	}
+	key := c.Config.Fingerprint().Derive("concretize", cachekey.Hash(rootStrs))
+	if out, ok := c.Memo.lookup(key); ok {
+		return out, nil
+	}
+	out, err := c.concretizeTogether(roots)
+	if err != nil {
+		return nil, err
+	}
+	c.Memo.store(key, out)
+	return out, nil
+}
+
+func (c *Concretizer) concretizeTogether(roots []*spec.Spec) ([]*spec.Spec, error) {
 	out := make([]*spec.Spec, len(roots))
 	var shared *solve
 	if c.Config.ReuseFromContext {

@@ -10,7 +10,7 @@ import (
 
 // testConfig builds a CTS-like configuration: gcc and intel compilers,
 // external MVAPICH2 and MKL, broadwell target (Figures 4, 9, 12).
-func testConfig(t *testing.T) *Config {
+func testConfig(t testing.TB) *Config {
 	t.Helper()
 	cfg := NewConfig()
 	cfg.Platform = "linux"
@@ -33,7 +33,7 @@ func testConfig(t *testing.T) *Config {
 	return cfg
 }
 
-func newC(t *testing.T) *Concretizer {
+func newC(t testing.TB) *Concretizer {
 	return New(pkgrepo.Builtin(), testConfig(t))
 }
 

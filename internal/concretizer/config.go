@@ -12,8 +12,10 @@ package concretizer
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"repro/internal/cachekey"
 	"repro/internal/spec"
 	"repro/internal/yamlite"
 )
@@ -72,6 +74,68 @@ type Config struct {
 	// the concretizer reuses it instead of re-deriving a (possibly
 	// newer) configuration — Spack's `spack install --reuse`.
 	ReuseInstalled []*spec.Spec
+}
+
+// Fingerprint returns the content key of everything in the
+// configuration that can influence a concretization result: two
+// configs with equal fingerprints concretize any spec identically.
+// It anchors the memo key of every concretization (the "concretize"
+// cache layer), so adding a compiler, changing a preference, or
+// growing the reuse set invalidates exactly the solves it could
+// affect.
+func (c *Config) Fingerprint() cachekey.Key {
+	type extFP struct {
+		Spec   string
+		Prefix string
+	}
+	fp := struct {
+		Platform         string
+		Target           string
+		Compilers        []string
+		DefaultCompiler  string
+		Externals        map[string][]extFP
+		NotBuildable     []string
+		ProviderPrefs    map[string][]string
+		VersionPrefs     map[string]string
+		VariantPrefs     map[string]string
+		ReuseFromContext bool
+		ReuseInstalled   []string
+	}{
+		Platform:         c.Platform,
+		Target:           c.Target,
+		DefaultCompiler:  c.DefaultCompiler,
+		ProviderPrefs:    c.ProviderPrefs,
+		VersionPrefs:     c.VersionPrefs,
+		VariantPrefs:     c.VariantPrefs,
+		ReuseFromContext: c.ReuseFromContext,
+	}
+	for _, def := range c.Compilers {
+		fp.Compilers = append(fp.Compilers, def.Name+"@"+def.Version.String()+" prefix="+def.Prefix)
+	}
+	if len(c.Externals) > 0 {
+		fp.Externals = map[string][]extFP{}
+		for name, exts := range c.Externals {
+			for _, e := range exts {
+				fp.Externals[name] = append(fp.Externals[name], extFP{Spec: e.Spec.String(), Prefix: e.Prefix})
+			}
+		}
+	}
+	for name, nb := range c.NotBuildable {
+		if nb {
+			fp.NotBuildable = append(fp.NotBuildable, name)
+		}
+	}
+	sort.Strings(fp.NotBuildable)
+	// Reuse order is load-bearing (the first compatible candidate wins
+	// during seeding), so it is hashed in order, not sorted: a reordered
+	// reuse set may miss, but can never hit a result it would not have
+	// produced.
+	for _, s := range c.ReuseInstalled {
+		if s != nil {
+			fp.ReuseInstalled = append(fp.ReuseInstalled, s.String())
+		}
+	}
+	return cachekey.Hash(fp)
 }
 
 // NewConfig returns an empty configuration.

@@ -1,0 +1,130 @@
+package concretizer
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/cachekey"
+	"repro/internal/spec"
+)
+
+// Memo caches concretization results per input key — the "concretize"
+// layer of the incremental pipeline. A key is the configuration
+// fingerprint derived with the abstract root specs (see
+// Concretizer.ConcretizeTogether), so any change to the system
+// configuration, the reuse set, or the requested specs is a miss.
+//
+// Entries are stored as encoded DAG bytes (spec.EncodeDAG) and decoded
+// fresh on every hit: callers receive private node graphs, never
+// aliases of cached pointers, so downstream mutation (the install
+// database holds spec pointers) cannot poison the memo. Attach a
+// durable cachekey.Layer with Persist to share the memo across
+// processes; corrupt or tampered durable entries fail DecodeDAG's hash
+// verification and degrade to a cold miss.
+type Memo struct {
+	mu     sync.Mutex
+	mem    map[cachekey.Key][]byte
+	layer  *cachekey.Layer
+	hits   int
+	misses int
+}
+
+// memoEntry is the serialized form of one concretization result.
+type memoEntry struct {
+	Nodes map[string]spec.EncodedNode `json:"nodes"`
+	Roots []string                    `json:"roots"`
+}
+
+// NewMemo returns an empty in-memory memo.
+func NewMemo() *Memo { return &Memo{mem: map[cachekey.Key][]byte{}} }
+
+// Persist attaches a durable cache layer: lookups fall through to it
+// on in-memory misses and stores write through to it.
+func (m *Memo) Persist(l *cachekey.Layer) {
+	m.mu.Lock()
+	m.layer = l
+	m.mu.Unlock()
+}
+
+// MemoStats counts memo traffic.
+type MemoStats struct {
+	Hits   int
+	Misses int
+}
+
+// Stats returns the memo's lifetime hit/miss counters.
+func (m *Memo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{Hits: m.hits, Misses: m.misses}
+}
+
+// lookup fetches and decodes the result stored under key. Any failure
+// — missing entry, corrupt bytes, DAG hash mismatch — is a miss.
+func (m *Memo) lookup(key cachekey.Key) ([]*spec.Spec, bool) {
+	if m == nil || !key.Valid() {
+		return nil, false
+	}
+	m.mu.Lock()
+	data, ok := m.mem[key]
+	layer := m.layer
+	m.mu.Unlock()
+	if !ok && layer != nil {
+		if d, hit := layer.Get(key); hit {
+			data, ok = d, true
+			m.mu.Lock()
+			m.mem[key] = d
+			m.mu.Unlock()
+		}
+	}
+	if !ok {
+		m.note(false)
+		return nil, false
+	}
+	var ent memoEntry
+	if err := json.Unmarshal(data, &ent); err != nil {
+		m.note(false)
+		return nil, false
+	}
+	out, err := spec.DecodeDAG(ent.Nodes, ent.Roots)
+	if err != nil {
+		m.note(false)
+		return nil, false
+	}
+	m.note(true)
+	return out, true
+}
+
+// store records a concretization result under key, writing through to
+// the durable layer when attached. Failures are silent: the memo is an
+// accelerator, never a correctness dependency.
+func (m *Memo) store(key cachekey.Key, roots []*spec.Spec) {
+	if m == nil || !key.Valid() {
+		return
+	}
+	nodes, rootHashes := spec.EncodeDAG(roots)
+	data, err := json.Marshal(memoEntry{Nodes: nodes, Roots: rootHashes})
+	if err != nil {
+		return
+	}
+	m.mu.Lock()
+	m.mem[key] = data
+	layer := m.layer
+	m.mu.Unlock()
+	if layer != nil {
+		layer.Put(key, data) //nolint:errcheck // cache write failure must not fail the solve
+	}
+}
+
+func (m *Memo) note(hit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if hit {
+		m.hits++
+	} else {
+		m.misses++
+	}
+}

@@ -1,0 +1,182 @@
+package concretizer
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cachekey"
+	"repro/internal/pkgrepo"
+	"repro/internal/spec"
+)
+
+func TestMemoHitReplaysEqualResult(t *testing.T) {
+	c := newC(t)
+	c.Memo = NewMemo()
+	roots := []*spec.Spec{spec.MustParse("saxpy@1.0.0 +openmp ^cmake@3.23.1")}
+
+	cold, err := c.ConcretizeTogether(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.ConcretizeTogether([]*spec.Spec{spec.MustParse("saxpy@1.0.0 +openmp ^cmake@3.23.1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Memo.Stats(); got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit 1 miss", got)
+	}
+	if cold[0].DAGHash() != warm[0].DAGHash() {
+		t.Errorf("memo hit must replay the identical DAG:\ncold %s\nwarm %s", cold[0], warm[0])
+	}
+	if cold[0] == warm[0] {
+		t.Error("memo hit must decode a fresh DAG, not alias the cold result")
+	}
+	if !warm[0].IsConcrete() {
+		t.Error("replayed root not concrete")
+	}
+}
+
+func TestMemoKeySensitivity(t *testing.T) {
+	c := newC(t)
+	c.Memo = NewMemo()
+	if _, err := c.ConcretizeTogether([]*spec.Spec{spec.MustParse("saxpy@1.0.0")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different abstract root is a miss.
+	if _, err := c.ConcretizeTogether([]*spec.Spec{spec.MustParse("saxpy@1.0.0 +openmp")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Memo.Stats(); got.Hits != 0 || got.Misses != 2 {
+		t.Fatalf("stats after distinct roots = %+v, want 0 hits 2 misses", got)
+	}
+
+	// A configuration change is a miss even for the same root.
+	c.Config.VariantPrefs["saxpy"] = "+openmp"
+	if _, err := c.ConcretizeTogether([]*spec.Spec{spec.MustParse("saxpy@1.0.0")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Memo.Stats(); got.Hits != 0 || got.Misses != 3 {
+		t.Fatalf("stats after config change = %+v, want 0 hits 3 misses", got)
+	}
+}
+
+func TestConfigFingerprintSensitivity(t *testing.T) {
+	base := testConfig(t).Fingerprint()
+	if !base.Valid() {
+		t.Fatalf("fingerprint %q invalid", base)
+	}
+	if testConfig(t).Fingerprint() != base {
+		t.Error("equal configs must fingerprint equally")
+	}
+
+	mut := testConfig(t)
+	mut.Target = "zen2"
+	if mut.Fingerprint() == base {
+		t.Error("target change must change the fingerprint")
+	}
+
+	mut = testConfig(t)
+	if err := mut.AddCompiler("clang@14.0.6", "/usr/bin"); err != nil {
+		t.Fatal(err)
+	}
+	if mut.Fingerprint() == base {
+		t.Error("compiler change must change the fingerprint")
+	}
+
+	mut = testConfig(t)
+	mut.ReuseInstalled = []*spec.Spec{mustConcrete(t, "cmake@3.23.1")}
+	if mut.Fingerprint() == base {
+		t.Error("reuse set change must change the fingerprint")
+	}
+}
+
+func mustConcrete(t *testing.T, s string) *spec.Spec {
+	t.Helper()
+	got, err := New(pkgrepo.Builtin(), testConfig(t)).Concretize(spec.MustParse(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestMemoDurableLayerSharedAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := cachekey.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := newC(t)
+	c1.Memo = NewMemo()
+	c1.Memo.Persist(st1.Layer("concretize"))
+	cold, err := c1.ConcretizeTogether([]*spec.Spec{spec.MustParse("saxpy@1.0.0 +openmp")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second memo over the same store directory (a new process in a
+	// CI pipeline) hits without solving.
+	st2, err := cachekey.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := newC(t)
+	c2.Memo = NewMemo()
+	c2.Memo.Persist(st2.Layer("concretize"))
+	warm, err := c2.ConcretizeTogether([]*spec.Spec{spec.MustParse("saxpy@1.0.0 +openmp")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Memo.Stats(); got.Hits != 1 || got.Misses != 0 {
+		t.Errorf("durable stats = %+v, want 1 hit 0 misses", got)
+	}
+	if cold[0].DAGHash() != warm[0].DAGHash() {
+		t.Errorf("durable hit must replay the identical DAG")
+	}
+}
+
+func TestMemoCorruptDurableEntryIsColdMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := cachekey.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newC(t)
+	c.Memo = NewMemo()
+	c.Memo.Persist(st.Layer("concretize"))
+	if _, err := c.ConcretizeTogether([]*spec.Spec{spec.MustParse("saxpy@1.0.0")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt every persisted entry on disk.
+	root := filepath.Join(dir, "concretize")
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		return os.WriteFile(path, []byte("garbage"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh memo over the corrupted store must re-solve, not fail.
+	st2, err := cachekey.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := newC(t)
+	c2.Memo = NewMemo()
+	c2.Memo.Persist(st2.Layer("concretize"))
+	got, err := c2.ConcretizeTogether([]*spec.Spec{spec.MustParse("saxpy@1.0.0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[0].IsConcrete() {
+		t.Error("re-solve after corruption must yield a concrete spec")
+	}
+	if s := c2.Memo.Stats(); s.Hits != 0 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want the corrupt entry counted as a miss", s)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cachekey"
 	"repro/internal/ci"
 	"repro/internal/engine"
 	"repro/internal/metricsdb"
@@ -100,6 +101,12 @@ func NewAutomation(bp *Benchpark, workDir string) (*Automation, error) {
 	return a, nil
 }
 
+// UseCache attaches a shared durable content-addressed store to the
+// deployment, so every pipeline job — nightly after nightly, PR after
+// PR — reuses the concretize/buildcache/run layers and re-runs only
+// the delta. Each job's hit/miss provenance lands on its CIJob.
+func (a *Automation) UseCache(st *cachekey.Store) { a.Benchpark.UseCache(st) }
+
 // jobExecutor interprets "benchpark <suite> <system> <workspace>"
 // script lines by actually running the session — the Benchpark
 // executable of Table 1 row 6. Each session runs on the experiment
@@ -133,6 +140,14 @@ func (a *Automation) jobExecutor(workDir string) ci.JobExecutor {
 			}
 			log.Info("benchpark run finished", "line", line,
 				"experiments", rep.Total, "succeeded", rep.Succeeded, "failed", rep.Failed)
+			// Per-job cache provenance: which layers served the run, and
+			// how much of it was replayed vs executed fresh.
+			for _, cs := range erep.Cache {
+				job.Cache = append(job.Cache, ci.CacheProvenance{
+					Layer: cs.Layer, Hits: cs.Hits, Misses: cs.Misses,
+				})
+				log.Info("cache layer", "layer", cs.Layer, "hits", cs.Hits, "misses", cs.Misses)
+			}
 			if rep.Failed > 0 {
 				return buf.String(), &ExperimentFailuresError{Report: erep}
 			}

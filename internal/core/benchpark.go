@@ -13,6 +13,7 @@ import (
 	"repro/internal/adiak"
 	"repro/internal/bench"
 	"repro/internal/buildcache"
+	"repro/internal/cachekey"
 	"repro/internal/concretizer"
 	"repro/internal/engine"
 	"repro/internal/env"
@@ -28,12 +29,21 @@ import (
 )
 
 // Benchpark is the shared state of a continuous-benchmarking
-// deployment: the package repository, the community binary cache, and
-// the metrics database results stream into.
+// deployment: the package repository, the community binary cache, the
+// metrics database results stream into, and the incremental-pipeline
+// caches (concretization memo, durable content-addressed store).
 type Benchpark struct {
 	Repo    *pkgrepo.Repo
 	Cache   *buildcache.Cache
 	Metrics *metricsdb.DB
+
+	// Memo caches concretization results across the deployment's
+	// sessions (the "concretize" layer); always on — a memo hit is
+	// pinned byte-identical to a fresh solve.
+	Memo *concretizer.Memo
+	// Store is the durable content-addressed store every cache layer
+	// persists through (UseCache); nil keeps all caching in-memory.
+	Store *cachekey.Store
 }
 
 // New returns a Benchpark instance over the builtin package repo.
@@ -42,6 +52,7 @@ func New() *Benchpark {
 		Repo:    pkgrepo.Builtin(),
 		Cache:   buildcache.New(),
 		Metrics: metricsdb.New(),
+		Memo:    concretizer.NewMemo(),
 	}
 }
 
@@ -140,6 +151,7 @@ func (s *Session) installSoftwareContext(ctx context.Context, envName string, sp
 	}
 	s.Config.ReuseInstalled = reuse
 	c := concretizer.New(s.Benchpark.Repo, s.Config)
+	c.Memo = s.Benchpark.Memo
 	if err := e.Concretize(c); err != nil {
 		return err
 	}
@@ -285,6 +297,11 @@ type RunOptions struct {
 	// front and drains the queue as one simulation (Figure 13
 	// semantics) instead of one submit+drain per experiment.
 	Batched bool
+	// Cache overrides the engine's run cache for this run. When nil,
+	// the session falls back to the Benchpark store's "run" layer
+	// (Benchpark.UseCache); when the store is nil too, experiment
+	// replay is off.
+	Cache engine.ExperimentCache
 }
 
 // RunAll executes the full Figure 1c workflow after Setup: workspace
@@ -330,7 +347,14 @@ func (s *Session) Run(ctx context.Context, o RunOptions) (*ramble.AnalysisReport
 	span.SetAttr("system", s.System.Name)
 	telemetry.Log(ctx).Info("session start", "suite", s.Suite, "system", s.System.Name)
 	r := &sessionRunner{s: s, batched: o.Batched}
-	erep, err := engine.Run(ctx, r, engine.Options{Jobs: o.Jobs, Timeout: o.Timeout})
+	cache := o.Cache
+	if cache == nil && s.Benchpark.Store != nil {
+		cache = s.Benchpark.Store.Layer("run")
+	}
+	memoBefore := s.Benchpark.Memo.Stats()
+	bcHits, bcMisses, _ := s.Benchpark.Cache.Stats()
+	erep, err := engine.Run(ctx, r, engine.Options{Jobs: o.Jobs, Timeout: o.Timeout, Cache: cache})
+	s.appendCacheStats(ctx, erep, memoBefore, bcHits, bcMisses)
 	span.SetError(err)
 	span.End()
 	telemetry.Log(ctx).Info("session done",

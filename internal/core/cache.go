@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/adiak"
+	"repro/internal/bench"
+	"repro/internal/cachekey"
+	"repro/internal/caliper"
+	"repro/internal/concretizer"
+	"repro/internal/engine"
+	"repro/internal/telemetry"
+)
+
+// UseCache attaches a durable content-addressed store to the
+// deployment: the concretization memo and the binary cache persist
+// through it, and every Session.Run consults the store's "run" layer
+// to replay unchanged experiments. Passing nil detaches nothing —
+// call it once, at deployment construction (cmd/benchpark --cache-dir,
+// Automation over a shared CI cache).
+func (bp *Benchpark) UseCache(st *cachekey.Store) {
+	if st == nil {
+		return
+	}
+	bp.Store = st
+	if bp.Memo == nil {
+		bp.Memo = concretizer.NewMemo()
+	}
+	bp.Memo.Persist(st.Layer("concretize"))
+	bp.Cache.Persist(st.Layer("buildcache"))
+}
+
+// appendCacheStats prepends the upstream layers' traffic during this
+// run (concretize memo, buildcache) to the engine report's cache
+// table, which already carries the "run" layer, and mirrors the
+// deltas into cache_hits_total / cache_misses_total counters labeled
+// per layer — the same naming the engine uses for the run layer.
+func (s *Session) appendCacheStats(ctx context.Context, rep *engine.Report,
+	memoBefore concretizer.MemoStats, bcHits, bcMisses int) {
+	if rep == nil {
+		return
+	}
+	var upstream []engine.CacheStat
+	memoAfter := s.Benchpark.Memo.Stats()
+	if d := (engine.CacheStat{Layer: "concretize",
+		Hits:   memoAfter.Hits - memoBefore.Hits,
+		Misses: memoAfter.Misses - memoBefore.Misses}); d.Hits+d.Misses > 0 {
+		upstream = append(upstream, d)
+	}
+	hitsAfter, missesAfter, _ := s.Benchpark.Cache.Stats()
+	if d := (engine.CacheStat{Layer: "buildcache",
+		Hits:   hitsAfter - bcHits,
+		Misses: missesAfter - bcMisses}); d.Hits+d.Misses > 0 {
+		upstream = append(upstream, d)
+	}
+	met := telemetry.FromContext(ctx).Metrics()
+	for _, d := range upstream {
+		met.Counter(fmt.Sprintf("cache_hits_total{layer=%q}", d.Layer)).Add(float64(d.Hits))
+		met.Counter(fmt.Sprintf("cache_misses_total{layer=%q}", d.Layer)).Add(float64(d.Misses))
+	}
+	rep.Cache = append(upstream, rep.Cache...)
+}
+
+// ExperimentKey implements engine.CacheableRunner: the content key of
+// one experiment's execution covers everything that can change its
+// outcome — the suite and system coordinates, the experiment's
+// rendered variables, environment, modifiers and batch script, its
+// execution geometry, the run mode, and the lockfile of its software
+// environment (so a dependency bump re-executes even when the
+// experiment text is unchanged). cachekey.Hash folds in the schema
+// and toolchain versions on top.
+//
+// The workspace root is normalized out of every rendered value: batch
+// scripts and expanded variables legitimately embed the workspace
+// path, but an experiment's outcome does not depend on where the
+// workspace lives — the same normalization the determinism tests
+// apply to committed artifacts.
+func (r *sessionRunner) ExperimentKey(i int) cachekey.Key {
+	e := r.exps[i]
+	norm := func(v string) string {
+		return strings.ReplaceAll(v, r.s.Workspace.Root, "$WORKSPACE")
+	}
+	normMap := func(m map[string]string) map[string]string {
+		out := make(map[string]string, len(m))
+		for k, v := range m {
+			out[k] = norm(v)
+		}
+		return out
+	}
+	lock := ""
+	if lf, ok := r.s.Lockfiles[e.App.Name]; ok {
+		j, err := lf.JSON()
+		if err != nil {
+			return "" // no provenance, no caching
+		}
+		lock = j
+	}
+	in := struct {
+		Suite      string
+		System     string
+		Experiment string
+		App        string
+		Workload   string
+		Batched    bool
+		Vars       map[string]string
+		Env        map[string]string
+		Modifiers  []string
+		Script     string
+		NNodes     int
+		ProcsNode  int
+		NRanks     int
+		NThreads   int
+		Lockfile   string
+	}{
+		Suite:      r.s.Suite,
+		System:     r.s.System.Name,
+		Experiment: e.Name,
+		App:        e.App.Name,
+		Workload:   e.Workload,
+		Batched:    r.batched,
+		Vars:       normMap(expandedVars(e)),
+		Env:        normMap(e.Env),
+		Modifiers:  e.Modifiers,
+		Script:     norm(e.Script),
+		NNodes:     e.NNodes,
+		ProcsNode:  e.ProcsPerNode,
+		NRanks:     e.NRanks,
+		NThreads:   e.NThreads,
+		Lockfile:   lock,
+	}
+	return cachekey.Hash(in).Derive("execute")
+}
+
+// cachedOutcome is the serialized form of one successful execution:
+// the kernel's text output and elapsed time, the Caliper profile, and
+// the Adiak metadata — everything Commit needs to settle the
+// experiment exactly as a fresh execution would.
+type cachedOutcome struct {
+	Text    string            `json:"text"`
+	Elapsed float64           `json:"elapsed_s"`
+	Profile string            `json:"profile,omitempty"`
+	Meta    map[string]string `json:"meta,omitempty"`
+}
+
+// MarshalExperiment implements engine.CacheableRunner; the engine
+// calls it only after a successful Execute.
+func (r *sessionRunner) MarshalExperiment(i int) ([]byte, error) {
+	out := r.outs[i]
+	if out == nil {
+		return nil, fmt.Errorf("core: experiment %d has no output to cache", i)
+	}
+	co := cachedOutcome{Text: out.Text, Elapsed: out.Elapsed}
+	if out.Profile != nil {
+		p, err := out.Profile.JSON()
+		if err != nil {
+			return nil, err
+		}
+		co.Profile = p
+	}
+	if out.Metadata != nil {
+		co.Meta = map[string]string{}
+		for _, name := range out.Metadata.Names() {
+			if v, ok := out.Metadata.Get(name); ok {
+				co.Meta[name] = v
+			}
+		}
+	}
+	return json.Marshal(co)
+}
+
+// RestoreExperiment implements engine.CacheableRunner: it reinstates
+// the cached outcome in the experiment's execution slots, so the
+// sequential Commit stage — scheduler submission, profile into the
+// thicket, .cali/.out files — replays identically to a cold run. Any
+// decode failure returns an error and the engine re-executes.
+func (r *sessionRunner) RestoreExperiment(_ context.Context, i int, data []byte) error {
+	var co cachedOutcome
+	if err := json.Unmarshal(data, &co); err != nil {
+		return err
+	}
+	out := &bench.Output{Text: co.Text, Elapsed: co.Elapsed}
+	if co.Profile != "" {
+		p, err := caliper.ParseProfile(co.Profile)
+		if err != nil {
+			return err
+		}
+		out.Profile = p
+	}
+	md := adiak.New()
+	names := make([]string, 0, len(co.Meta))
+	for name := range co.Meta {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		md.Set(name, co.Meta[name])
+	}
+	out.Metadata = md
+	r.outs[i], r.errs[i] = out, nil
+	return nil
+}

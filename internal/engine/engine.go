@@ -129,6 +129,10 @@ type Options struct {
 	Jobs int
 	// Timeout, when positive, caps the whole run.
 	Timeout time.Duration
+	// Cache, when set and the Runner implements CacheableRunner,
+	// replays previously executed experiments instead of dispatching
+	// them (the incremental pipeline's "run" layer).
+	Cache ExperimentCache
 }
 
 // Report is the engine's account of one matrix run. It is always
@@ -138,8 +142,13 @@ type Report struct {
 	Label    string
 	Jobs     int // resolved worker-pool size
 	Total    int // experiments in the matrix
-	Executed int // experiments whose Execute stage ran
+	Executed int // experiments that reached the execute stage (run or replayed)
 	Failed   int // executed experiments whose Execute returned an error
+	// CacheHits counts the experiments replayed from Options.Cache
+	// instead of executed; Executed includes them, so a fully warm run
+	// reports Executed == Total with CacheHits == Total and zero real
+	// executions.
+	CacheHits int
 	// Cancelled is set when the context expired before the matrix
 	// completed; unexecuted experiments carry a StageError wrapping
 	// the context's error.
@@ -162,6 +171,11 @@ type Report struct {
 	// the bridge a federation layer (metricsdb.ResultsFromReport,
 	// internal/resultsd) converts into durable metric records.
 	Results []ExperimentResult
+	// Cache holds per-layer cache-traffic accounts for the run: the
+	// engine appends the "run" layer when Options.Cache is active, and
+	// callers (internal/core) append upstream layers (concretize,
+	// buildcache). TimingSummary renders the table.
+	Cache []CacheStat
 }
 
 // ExperimentResult is one experiment's published outcome: the
@@ -208,17 +222,26 @@ type StageTiming struct {
 // Succeeded reports the number of cleanly executed experiments.
 func (r *Report) Succeeded() int { return r.Executed - r.Failed }
 
-// TimingSummary renders the per-stage timing table (empty string
-// when the run recorded no stages).
+// TimingSummary renders the per-stage timing table, followed by the
+// per-layer cache-traffic table when the run used any cache layer
+// (empty string when the run recorded neither).
 func (r *Report) TimingSummary() string {
-	if len(r.Timings) == 0 {
+	if len(r.Timings) == 0 && len(r.Cache) == 0 {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %6s %10s %10s %10s\n", "stage", "spans", "total(s)", "max(s)", "wall(s)")
-	for _, t := range r.Timings {
-		fmt.Fprintf(&b, "%-8s %6d %10.3f %10.3f %10.3f\n",
-			t.Stage, t.Count, t.Seconds, t.MaxSeconds, t.WallSeconds)
+	if len(r.Timings) > 0 {
+		fmt.Fprintf(&b, "%-8s %6s %10s %10s %10s\n", "stage", "spans", "total(s)", "max(s)", "wall(s)")
+		for _, t := range r.Timings {
+			fmt.Fprintf(&b, "%-8s %6d %10.3f %10.3f %10.3f\n",
+				t.Stage, t.Count, t.Seconds, t.MaxSeconds, t.WallSeconds)
+		}
+	}
+	if len(r.Cache) > 0 {
+		fmt.Fprintf(&b, "%-12s %6s %8s %12s\n", "cache", "hits", "misses", "bytes")
+		for _, cs := range r.Cache {
+			fmt.Fprintf(&b, "%-12s %6d %8d %12d\n", cs.Layer, cs.Hits, cs.Misses, cs.Bytes)
+		}
 	}
 	return b.String()
 }
@@ -336,12 +359,22 @@ func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 	// the pool) and in-flight worker count feed the registry. Span
 	// durations land in a per-index slice — no lock — and fold into
 	// the accumulator after the pool drains.
+	//
+	// With a run cache active, each worker first consults the cache
+	// under the runner's experiment key: a hit restores the cached
+	// outcome in place of Execute (the span still opens, so warm and
+	// cold runs record identical span trees); a miss executes and, on
+	// success, stores the marshalled outcome for the next run.
+	rc, _ := r.(CacheableRunner)
+	useCache := opts.Cache != nil && rc != nil
 	phaseCtx, phase := telemetry.StartSpan(ctx, StageExecute.String())
 	phaseStart := phase.StartTime()
 	execSecs := make([]float64, len(names))
 	queueWait := met.Histogram("engine_queue_wait_seconds")
 	inflight := met.Gauge("engine_inflight_jobs")
 	executed := make([]bool, len(names))
+	replayed := make([]bool, len(names))
+	cacheIO := make([]int64, len(names))
 	_, errs := Map(ctx, rep.Jobs, len(names), func(_ context.Context, i int) (struct{}, error) {
 		executed[i] = true
 		// phaseCtx shares ctx's cancellation chain; deriving the
@@ -350,7 +383,29 @@ func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 		sctx, span := telemetry.StartSpan(phaseCtx, names[i])
 		queueWait.Observe(span.StartTime().Sub(phaseStart).Seconds())
 		inflight.Add(1)
-		err := r.Execute(sctx, i)
+		var err error
+		if useCache {
+			if key := rc.ExperimentKey(i); key.Valid() {
+				if data, ok := opts.Cache.Get(key); ok {
+					if rerr := rc.RestoreExperiment(sctx, i, data); rerr == nil {
+						replayed[i] = true
+						cacheIO[i] = int64(len(data))
+					}
+				}
+			}
+		}
+		if !replayed[i] {
+			err = r.Execute(sctx, i)
+			if useCache && err == nil {
+				if key := rc.ExperimentKey(i); key.Valid() {
+					if data, merr := rc.MarshalExperiment(i); merr == nil {
+						if perr := opts.Cache.Put(key, data); perr == nil {
+							cacheIO[i] = int64(len(data))
+						}
+					}
+				}
+			}
+		}
 		inflight.Add(-1)
 		span.SetError(err)
 		span.End()
@@ -358,6 +413,25 @@ func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 		return struct{}{}, err
 	})
 	phase.End()
+	if useCache {
+		st := CacheStat{Layer: "run"}
+		for i := range names {
+			if !executed[i] {
+				continue
+			}
+			st.Bytes += cacheIO[i]
+			if replayed[i] {
+				st.Hits++
+			} else {
+				st.Misses++
+			}
+		}
+		rep.CacheHits = st.Hits
+		rep.Cache = append(rep.Cache, st)
+		met.Counter(`cache_hits_total{layer="run"}`).Add(float64(st.Hits))
+		met.Counter(`cache_misses_total{layer="run"}`).Add(float64(st.Misses))
+		met.Counter(`cache_bytes_total{layer="run"}`).Add(float64(st.Bytes))
+	}
 	execHist := stageSeconds(met, StageExecute)
 	for i := range names {
 		if !executed[i] {

@@ -7,10 +7,15 @@
 # built on it, the parallel installer, the concurrency-safe build
 # cache, the telemetry layer (spans and metrics are recorded from the
 # engine's worker pool), the durable result store and its HTTP service
-# (concurrent ingest against the WAL), benchlint's concurrent
+# (concurrent ingest against the WAL), the content-addressed cache
+# store (concurrent same-key writers), benchlint's concurrent
 # package loader, and the benchlint CLI whose tests drive that loader
 # end to end. A -diff dry-run also fails the gate when mechanical
 # fixes exist that nobody applied.
+#
+# Finally, the incremental re-run gate runs the example suite twice
+# over a shared --cache-dir: the second run must be 100% run-layer
+# cache hits and leave a byte-identical results.json behind.
 #
 #   ./scripts/verify.sh
 set -eu
@@ -37,6 +42,32 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/telemetry ./internal/analysis ./internal/resultstore ./internal/resultsd ./cmd/benchlint
+go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/cachekey ./internal/telemetry ./internal/analysis ./internal/resultstore ./internal/resultsd ./cmd/benchlint
+
+echo "==> incremental re-run gate (second run over a shared cache must replay everything)"
+cache_tmp=$(mktemp -d)
+go run ./cmd/benchpark --cache-dir "$cache_tmp/cache" saxpy/openmp cts1 "$cache_tmp/cold-ws" >"$cache_tmp/cold.out"
+go run ./cmd/benchpark --cache-dir "$cache_tmp/cache" saxpy/openmp cts1 "$cache_tmp/warm-ws" >"$cache_tmp/warm.out"
+runline=$(grep '==> cache\[run\]:' "$cache_tmp/warm.out" || true)
+echo "    warm: ${runline:-no cache summary printed}"
+case "$runline" in
+*"misses=0"*) ;;
+*)
+	echo "verify: warm re-run was not 100% run-layer cache hits" >&2
+	cat "$cache_tmp/warm.out" >&2
+	exit 1
+	;;
+esac
+case "$runline" in
+*"hits=0 "*)
+	echo "verify: warm re-run replayed nothing" >&2
+	exit 1
+	;;
+esac
+cmp "$cache_tmp/cold-ws/logs/results.json" "$cache_tmp/warm-ws/logs/results.json" || {
+	echo "verify: warm re-run produced a different results.json" >&2
+	exit 1
+}
+rm -rf "$cache_tmp"
 
 echo "==> verify OK"
