@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestCLIBaselineRatchet walks the ratchet's whole life cycle against
+// a real module: bootstrap an empty baseline, record the existing
+// debt, absorb it on re-runs, fail on a NEW finding, and prune stale
+// entries once the debt is paid.
+func TestCLIBaselineRatchet(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":                    "module tmplint\n\ngo 1.22\n",
+		"internal/engine/engine.go": badEngine,
+	})
+	blFile := filepath.Join(dir, "baseline.json")
+
+	// A missing baseline is empty: everything gates.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-baseline", blFile}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing-baseline exit code = %d, want 1", code)
+	}
+
+	// -baseline-update records the debt; the same run then passes.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-baseline", blFile, "-baseline-update"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-baseline-update exit code = %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+	b, err := analysis.LoadBaseline(blFile)
+	if err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(b.Entries) != 1 || b.Entries[0].Analyzer != "ctxflow" || b.Entries[0].Count != 1 {
+		t.Fatalf("baseline entries = %+v, want one ctxflow entry with count 1", b.Entries)
+	}
+	if b.Entries[0].File != "internal/engine/engine.go" {
+		t.Errorf("baseline file = %q, want internal/engine/engine.go", b.Entries[0].File)
+	}
+
+	// Subsequent runs absorb the recorded finding; -v still shows it.
+	stdout.Reset()
+	if code := run([]string{"-C", dir, "-baseline", blFile, "-v"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exit code = %d, want 0\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "(baselined)") {
+		t.Errorf("-v output does not mark the baselined finding:\n%s", stdout.String())
+	}
+
+	// A NEW finding — a second instance of the same message included —
+	// exceeds the recorded count and fails the run.
+	src := filepath.Join(dir, "internal", "engine", "engine.go")
+	content, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := string(content) + "\nfunc runAgain() error {\n\tctx := context.TODO()\n\t_ = ctx\n\treturn nil\n}\n"
+	if err := os.WriteFile(src, []byte(grown), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-baseline", blFile}, &stdout, &stderr); code != 1 {
+		t.Fatalf("new-finding exit code = %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if got := strings.Count(stdout.String(), "ctxflow"); got != 1 {
+		t.Errorf("want exactly the 1 new finding in output, got %d:\n%s", got, stdout.String())
+	}
+
+	// Paying off the debt and updating prunes the stale entries.
+	if err := os.WriteFile(src, []byte("// Package engine is a fixture.\npackage engine\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-baseline", blFile, "-baseline-update"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("prune update exit code = %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+	b, err = analysis.LoadBaseline(blFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 0 {
+		t.Errorf("stale baseline entries survived the update: %+v", b.Entries)
+	}
+}
+
+// TestCLIBaselineCorruptFailsClosed pins the failure posture: a
+// baseline that does not parse (or carries the wrong schema) degrades
+// to an empty baseline — every finding gates — instead of silently
+// passing everything.
+func TestCLIBaselineCorruptFailsClosed(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":                    "module tmplint\n\ngo 1.22\n",
+		"internal/engine/engine.go": badEngine,
+	})
+	blFile := filepath.Join(dir, "baseline.json")
+
+	for name, content := range map[string]string{
+		"garbage":      "{not json",
+		"wrong-schema": `{"schema":"benchlint-baseline-0","entries":[]}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(blFile, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{"-C", dir, "-baseline", blFile}, &stdout, &stderr); code != 1 {
+				t.Fatalf("corrupt-baseline exit code = %d, want 1 (full-fail)\n%s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), "treating baseline as empty") {
+				t.Errorf("stderr does not explain the degraded baseline:\n%s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestCLISARIF pins the SARIF surface: valid 2.1.0 JSON, one run, the
+// full rule inventory, and per-finding results with suppressed ones
+// carried as suppressions rather than dropped.
+func TestCLISARIF(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":                    "module tmplint\n\ngo 1.22\n",
+		"internal/engine/engine.go": badEngine,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-format", "sarif"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("sarif exit code = %d, want 1 (the finding still gates)", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q with %d runs, want 2.1.0 with 1 run", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "benchlint" {
+		t.Errorf("driver = %q, want benchlint", r.Tool.Driver.Name)
+	}
+	if len(r.Tool.Driver.Rules) != len(analysis.Suite()) {
+		t.Errorf("rules = %d, want the full suite of %d", len(r.Tool.Driver.Rules), len(analysis.Suite()))
+	}
+	if len(r.Results) != 2 {
+		t.Fatalf("results = %d, want 2 (1 live, 1 suppressed)", len(r.Results))
+	}
+	live, suppressed := r.Results[0], r.Results[1]
+	if live.RuleID != "ctxflow" || live.Level != "error" || len(live.Suppressions) != 0 {
+		t.Errorf("live result = %+v, want gating ctxflow error", live)
+	}
+	if loc := live.Locations[0].PhysicalLocation; loc.ArtifactLocation.URI != "internal/engine/engine.go" || loc.Region.StartLine != 7 {
+		t.Errorf("live location = %+v, want internal/engine/engine.go:7", loc)
+	}
+	if suppressed.Level != "note" || len(suppressed.Suppressions) != 1 || suppressed.Suppressions[0].Kind != "inSource" {
+		t.Errorf("suppressed result = %+v, want note with inSource suppression", suppressed)
+	}
+}

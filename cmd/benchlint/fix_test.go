@@ -105,6 +105,68 @@ func TestCLIFixDiffIdempotent(t *testing.T) {
 	}
 }
 
+// unsortedMetrics has exactly one finding, with a mechanical fix:
+// a map-range feeding a hash (maporder rewrites it to sorted keys).
+// It lives outside determinism's scope so only maporder fires.
+const unsortedMetrics = `// Package metrics is a fixture.
+package metrics
+
+import (
+	"crypto/sha256"
+)
+
+func Digest(m map[string]string) []byte {
+	h := sha256.New()
+	for k, v := range m {
+		h.Write([]byte(k + "=" + v))
+	}
+	return h.Sum(nil)
+}
+`
+
+// TestCLIFixMapOrderIdempotent pins the maporder sort-keys rewrite
+// end to end: -fix collects, sorts, and ranges the keys (inserting
+// the sort import), the fixed tree is clean, and a second -fix is a
+// no-op.
+func TestCLIFixMapOrderIdempotent(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":                      "module tmplint\n\ngo 1.22\n",
+		"internal/metrics/metrics.go": unsortedMetrics,
+	})
+	src := filepath.Join(dir, "internal", "metrics", "metrics.go")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-fix"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-fix exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	fixed, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"sort"`, "sort.Strings(ks)", "for _, k := range ks", "v := m[k]"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed source missing %q:\n%s", want, fixed)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-fix"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -fix exit code = %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+	again, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(fixed) {
+		t.Errorf("maporder fix is not idempotent:\nfirst:\n%s\nsecond:\n%s", fixed, again)
+	}
+
+	if code := run([]string{"-C", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("fixed module still has findings (exit %d):\n%s", code, stdout.String())
+	}
+}
+
 // TestCLIListJSON pins the machine-readable analyzer inventory the
 // verify gate asserts against.
 func TestCLIListJSON(t *testing.T) {
@@ -121,11 +183,11 @@ func TestCLIListJSON(t *testing.T) {
 	if err := json.Unmarshal(stdout.Bytes(), &entries); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
 	}
-	wantNames := []string{"ctxflow", "determinism", "stageerr", "locks", "spanend", "lockorder", "goroleak", "walack"}
+	wantNames := []string{"ctxflow", "determinism", "stageerr", "locks", "spanend", "lockorder", "goroleak", "walack", "purity", "maporder", "keycover"}
 	if len(entries) != len(wantNames) {
 		t.Fatalf("inventory has %d analyzers, want %d:\n%s", len(entries), len(wantNames), stdout.String())
 	}
-	wantFixes := map[string]bool{"ctxflow": true, "spanend": true}
+	wantFixes := map[string]bool{"ctxflow": true, "spanend": true, "maporder": true, "keycover": true}
 	for i, e := range entries {
 		if e.Name != wantNames[i] {
 			t.Errorf("entry %d = %q, want %q", i, e.Name, wantNames[i])

@@ -7,22 +7,29 @@
 //	benchlint [flags] [packages]
 //
 //	-C dir      run in dir (the module to lint; default ".")
-//	-json       emit findings as JSON (suppressed findings included)
+//	-json       emit findings as JSON (alias for -format json)
+//	-format f   output format: text, json, or sarif (SARIF 2.1.0)
 //	-run list   comma-separated analyzer subset (default: all)
 //	-list       print the analyzers and exit (-json for machine form)
 //	-fix        apply suggested fixes to the source tree
 //	-diff       print suggested fixes as unified diffs (no writes)
 //	-cache dir  incremental cache: unchanged packages replay findings
-//	-v          also print suppressed findings in text mode
+//	-baseline f ratchet file: only findings NOT in f gate the exit code
+//	-baseline-update  rewrite the ratchet file from this run's findings
+//	-v          also print suppressed/baselined findings in text mode
 //
 // Packages default to ./...; any go list pattern works. benchlint
 // exits 0 when the module is clean, 1 on unsuppressed findings, and
 // 2 on usage or load errors. With -fix, findings repaired by an
-// applied fix no longer count against the exit code. Suppress a
-// single finding with `//benchlint:ignore <analyzer> <reason>` on (or
-// directly above) the offending line — or above the statement it sits
-// in — and mark a documented compatibility wrapper that may mint
-// context.Background() with `//benchlint:compat` in its doc comment.
+// applied fix no longer count against the exit code. With -baseline,
+// findings recorded in the ratchet file are reported but do not gate —
+// only new findings fail — and a missing file is an empty baseline
+// while a corrupt one degrades to full-fail, never silent-pass.
+// Suppress a single finding with `//benchlint:ignore <analyzer>
+// <reason>` on (or directly above) the offending line — or above the
+// statement it sits in — and mark a documented compatibility wrapper
+// that may mint context.Background() with `//benchlint:compat` in its
+// doc comment.
 package main
 
 import (
@@ -55,8 +62,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheDir = fs.String("cache", "", "incremental analysis cache directory (empty disables)")
 		verbose  = fs.Bool("v", false, "print suppressed findings too")
 		jobsFlag = fs.Int("jobs", 0, "parse/type-check parallelism (default GOMAXPROCS)")
+		format   = fs.String("format", "", "output format: text, json, or sarif (default text; -json implies json)")
+		baseline = fs.String("baseline", "", "ratchet baseline file: recorded findings do not gate the exit code")
+		blUpdate = fs.Bool("baseline-update", false, "rewrite the -baseline file from this run's findings")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format == "" {
+		*format = "text"
+		if *jsonOut {
+			*format = "json"
+		}
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "benchlint: unknown -format %q (have: text, json, sarif)\n", *format)
+		return 2
+	}
+	if *blUpdate && *baseline == "" {
+		fmt.Fprintln(stderr, "benchlint: -baseline-update requires -baseline")
 		return 2
 	}
 
@@ -74,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		analyzers = selected
 	}
 	if *list {
-		return listAnalyzers(stdout, stderr, analyzers, *jsonOut)
+		return listAnalyzers(stdout, stderr, analyzers, *format == "json")
 	}
 	if *fix && *diff {
 		fmt.Fprintln(stderr, "benchlint: -fix and -diff are mutually exclusive (use -diff to preview, -fix to apply)")
@@ -125,14 +151,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The ratchet: recorded findings stay visible but do not gate.
+	// -baseline-update rewrites the file from the live findings (which
+	// prunes stale entries); a corrupt baseline degrades to an empty
+	// one — full-fail, never silent-pass.
+	if *baseline != "" {
+		if *blUpdate {
+			live := make([]analysis.Finding, 0, len(findings))
+			for i, f := range findings {
+				if !fixedOut[i] {
+					live = append(live, f)
+				}
+			}
+			if err := analysis.SaveBaseline(*baseline, analysis.BaselineFrom(live)); err != nil {
+				fmt.Fprintf(stderr, "benchlint: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "benchlint: baseline %s updated\n", *baseline)
+		}
+		b, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchlint: %v (treating baseline as empty: all findings gate)\n", err)
+			b = &analysis.Baseline{}
+		}
+		b.Apply(findings)
+	}
+
 	unsuppressed := 0
 	for i, f := range findings {
-		if !f.Suppressed && !fixedOut[i] {
+		if !f.Suppressed && !f.Baselined && !fixedOut[i] {
 			unsuppressed++
 		}
 	}
 
-	if *jsonOut {
+	if *format == "sarif" {
+		data, err := analysis.SARIF(findings, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	} else if *format == "json" {
 		out := struct {
 			Module   string             `json:"module"`
 			Packages int                `json:"packages"`
@@ -158,6 +217,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if f.Suppressed {
 				if *verbose {
 					fmt.Fprintf(stdout, "%s (suppressed: %s)\n", f, f.Reason)
+				}
+				continue
+			}
+			if f.Baselined {
+				if *verbose {
+					fmt.Fprintf(stdout, "%s (baselined)\n", f)
 				}
 				continue
 			}

@@ -196,6 +196,10 @@ type Finding struct {
 	// directive; Reason carries the directive's justification.
 	Suppressed bool   `json:"suppressed,omitempty"`
 	Reason     string `json:"reason,omitempty"`
+	// Baselined marks findings absorbed by the ratchet baseline
+	// (baseline.go): pre-existing, visible, not gating. Applied by the
+	// CLI after the run, so cached entries never carry it.
+	Baselined bool `json:"baselined,omitempty"`
 	// Fixes are the machine-applicable repairs, when the analyzer has
 	// one for this finding.
 	Fixes []Fix `json:"fixes,omitempty"`

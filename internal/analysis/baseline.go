@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The ratchet: a committed baseline records the findings a repository
+// has accepted (with justification) so CI fails only on NEW findings.
+// The identity of a finding is deliberately line-free — analyzer,
+// file, message — so unrelated edits that shift line numbers do not
+// churn the baseline; Count bounds how many identical findings the
+// file absorbs, so adding a second instance of a baselined bug still
+// fails. Entries whose finding disappeared are pruned on every
+// -baseline-update (BaselineFrom rebuilds from live findings), which
+// is what makes the gate a ratchet: the recorded debt only shrinks.
+//
+// Failure posture: a missing baseline file is an empty baseline
+// (bootstrap), but an unreadable or schema-mismatched one is an
+// error. The CLI degrades that error to "no findings are baselined" —
+// full-fail — because a corrupt ratchet that silently passed
+// everything would be worse than no ratchet at all.
+
+// BaselineSchema tags the serialized baseline format.
+const BaselineSchema = "benchlint-baseline-1"
+
+// BaselineEntry accepts Count findings with this identity.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Schema  string          `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+func baselineKey(analyzer, file, message string) string {
+	return analyzer + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline (the bootstrap state); anything else that fails — read
+// error, parse error, wrong schema — is an error the caller must
+// surface, never a silent pass.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Schema: BaselineSchema}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("analysis: baseline schema %q, want %q", b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// SaveBaseline writes the baseline atomically (temp file + rename)
+// with sorted entries, so the committed file is byte-identical for
+// identical findings.
+func SaveBaseline(path string, b *Baseline) error {
+	b.Schema = BaselineSchema
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("analysis: encoding baseline: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".baseline-*")
+	if err != nil {
+		return fmt.Errorf("analysis: writing baseline: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("analysis: writing baseline: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("analysis: writing baseline: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("analysis: writing baseline: %w", err)
+	}
+	return nil
+}
+
+// Apply marks up to Count findings per baseline entry as Baselined,
+// in the findings' sorted order. Suppressed findings never consume
+// baseline budget — they are already accounted for in source.
+func (b *Baseline) Apply(findings []Finding) {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		budget[baselineKey(e.Analyzer, e.File, e.Message)] = e.Count
+	}
+	for i := range findings {
+		if findings[i].Suppressed {
+			continue
+		}
+		k := baselineKey(findings[i].Analyzer, findings[i].File, findings[i].Message)
+		if budget[k] > 0 {
+			budget[k]--
+			findings[i].Baselined = true
+		}
+	}
+}
+
+// BaselineFrom builds a fresh baseline covering every unsuppressed
+// finding — the -baseline-update path. Rebuilding from live findings
+// is what prunes stale entries: an entry with no surviving finding
+// simply is not regenerated.
+func BaselineFrom(findings []Finding) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	var order []string
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		k := baselineKey(f.Analyzer, f.File, f.Message)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{Analyzer: f.Analyzer, File: f.File, Message: f.Message, Count: 1}
+		order = append(order, k)
+	}
+	b := &Baseline{Schema: BaselineSchema}
+	for _, k := range order {
+		b.Entries = append(b.Entries, *counts[k])
+	}
+	return b
+}

@@ -32,7 +32,7 @@ import (
 
 // FactsSchema tags the serialized fact format; bump it when FuncFact
 // changes shape so stale cache entries read as misses.
-const FactsSchema = "benchlint-facts-1"
+const FactsSchema = "benchlint-facts-2"
 
 // LockEdge is one observed "acquired To while holding From" pair, the
 // unit the lockorder analyzer builds its whole-module graph from.
@@ -67,6 +67,31 @@ type FuncFact struct {
 	// or through a callee, so a goroutine running it is joinable via
 	// the WaitGroup.
 	CallsDone bool `json:"calls_done,omitempty"`
+	// The purity lattice (DESIGN §12): which classes of ambient state
+	// the function reads, directly or through a callee. A cached
+	// computation is a pure function of its key only when every
+	// function reachable from it carries none of these bits (or the
+	// read is provably folded into the key). The purity analyzer
+	// consumes them; keycover and maporder share the same fact flow.
+	//
+	// ReadsTime: reads the wall clock (time.Now/Since/Until).
+	ReadsTime bool `json:"reads_time,omitempty"`
+	// ReadsRand: draws from a nondeterministic RNG — the global
+	// math/rand generator or crypto/rand.
+	ReadsRand bool `json:"reads_rand,omitempty"`
+	// ReadsEnv: reads ambient process state — environment variables,
+	// hostname, pids/uids, working directory, or spawns a subprocess
+	// (os/exec), whose behavior is ambient by construction.
+	ReadsEnv bool `json:"reads_env,omitempty"`
+	// ReadsFS: reads file contents or metadata (os.Open/ReadFile/
+	// Stat/ReadDir, filepath.Walk/Glob). Advisory on memoized paths —
+	// content-addressed keys legitimately hash file bytes — but hard
+	// on key derivations that do not.
+	ReadsFS bool `json:"reads_fs,omitempty"`
+	// ReadsGlobal: reads a package-level mutable variable of this
+	// module (error sentinels and sync primitives excluded) — state a
+	// cache key cannot see.
+	ReadsGlobal bool `json:"reads_global,omitempty"`
 	// Acquires lists the lock classes the function may take,
 	// transitively, sorted.
 	Acquires []string `json:"acquires,omitempty"`
@@ -77,7 +102,33 @@ type FuncFact struct {
 
 func (f *FuncFact) empty() bool {
 	return !f.Syncs && !f.Writes && !f.CtxBound && !f.CallsDone &&
+		!f.ReadsTime && !f.ReadsRand && !f.ReadsEnv && !f.ReadsFS && !f.ReadsGlobal &&
 		len(f.Acquires) == 0 && len(f.Edges) == 0
+}
+
+// ambient returns the purity-lattice bits as a bitmask (see the
+// impure* constants); zero means the function reads no ambient state.
+func (f *FuncFact) ambient() impureBits {
+	if f == nil {
+		return 0
+	}
+	var b impureBits
+	if f.ReadsTime {
+		b |= impureTime
+	}
+	if f.ReadsRand {
+		b |= impureRand
+	}
+	if f.ReadsEnv {
+		b |= impureEnv
+	}
+	if f.ReadsFS {
+		b |= impureFS
+	}
+	if f.ReadsGlobal {
+		b |= impureGlobal
+	}
+	return b
 }
 
 // PackageFacts is every non-empty FuncFact of one package, keyed by
@@ -349,6 +400,21 @@ func computePackageFacts(pkg *Package, modPath, modRoot string, deps map[string]
 				if cf.CallsDone && !f.CallsDone {
 					f.CallsDone, changed = true, true
 				}
+				if cf.ReadsTime && !f.ReadsTime {
+					f.ReadsTime, changed = true, true
+				}
+				if cf.ReadsRand && !f.ReadsRand {
+					f.ReadsRand, changed = true, true
+				}
+				if cf.ReadsEnv && !f.ReadsEnv {
+					f.ReadsEnv, changed = true, true
+				}
+				if cf.ReadsFS && !f.ReadsFS {
+					f.ReadsFS, changed = true, true
+				}
+				if cf.ReadsGlobal && !f.ReadsGlobal {
+					f.ReadsGlobal, changed = true, true
+				}
 				for _, a := range cf.Acquires {
 					if !containsString(f.Acquires, a) {
 						f.Acquires = append(f.Acquires, a)
@@ -465,9 +531,46 @@ func collectFuncEvents(pkg *Package, modPath string, n ast.Node, rf *rawFunc) {
 			}
 		case *ast.CallExpr:
 			classifyCall(pkg, modPath, n, rf)
+		case *ast.Ident:
+			if isMutableGlobalRead(pkg, modPath, n) {
+				rf.fact.ReadsGlobal = true
+			}
 		}
 		return true
 	})
+}
+
+// isMutableGlobalRead reports whether the identifier uses a
+// package-level mutable variable of this module — ambient state a
+// cache key cannot capture. Error sentinels (write-once by
+// convention) and sync primitives (coordination, not data) are
+// excluded to keep the fact meaningful.
+func isMutableGlobalRead(pkg *Package, modPath string, id *ast.Ident) bool {
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	if v.Pkg() != pkg.Types && modPath != "" &&
+		v.Pkg().Path() != modPath && !strings.HasPrefix(v.Pkg().Path(), modPath+"/") {
+		return false
+	}
+	if v.Pkg() != pkg.Types && modPath == "" {
+		return false
+	}
+	t := deref(v.Type())
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Name() == "error" || (obj.Pkg() != nil && obj.Pkg().Path() == "sync") {
+			return false
+		}
+	}
+	if types.Implements(v.Type(), types.Universe.Lookup("error").Type().Underlying().(*types.Interface)) {
+		return false
+	}
+	return true
 }
 
 // classifyCall records one call expression's contribution: a direct
@@ -492,7 +595,6 @@ func classifyCall(pkg *Package, modPath string, call *ast.CallExpr, rf *rawFunc)
 		case "Write", "WriteString", "WriteAt":
 			rf.fact.Writes = true
 		}
-		return
 	case "io":
 		if fn.Name() == "Write" || fn.Name() == "WriteString" {
 			rf.fact.Writes = true
@@ -502,6 +604,24 @@ func classifyCall(pkg *Package, modPath string, call *ast.CallExpr, rf *rawFunc)
 		if fn.Name() == "Done" {
 			rf.fact.CallsDone = true
 		}
+		return
+	}
+	if bits := ambientCallBits(fn); bits != 0 {
+		if bits&impureTime != 0 {
+			rf.fact.ReadsTime = true
+		}
+		if bits&impureRand != 0 {
+			rf.fact.ReadsRand = true
+		}
+		if bits&impureEnv != 0 {
+			rf.fact.ReadsEnv = true
+		}
+		if bits&impureFS != 0 {
+			rf.fact.ReadsFS = true
+		}
+		return
+	}
+	if fn.Pkg().Path() == "os" {
 		return
 	}
 	if fn.Pkg() == pkg.Types || fn.Pkg().Path() == modPath ||

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The cache-soundness acceptance tests: each seeds the exact drift
+// bug its analyzer exists for into a copy of the real module and
+// asserts the analyzer catches it, while cmd/benchlint's
+// TestRepoIsClean pins that the untouched tree produces nothing.
+
+// TestPurityFlagsSeededClockRead plants a time.Now() read inside the
+// concretizer's memoized solve path — the canonical "cached result is
+// no longer a pure function of its key" bug — and asserts purity
+// flags it.
+func TestPurityFlagsSeededClockRead(t *testing.T) {
+	root := copyModule(t, "../..")
+
+	conc := filepath.Join(root, "internal", "concretizer", "concretizer.go")
+	src, err := os.ReadFile(conc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const storeLine = "c.Memo.store(key, out)"
+	if n := strings.Count(string(src), storeLine); n != 1 {
+		t.Fatalf("found %d occurrences of %q in concretizer.go, want 1 (mutation site moved?)", n, storeLine)
+	}
+	mutated := strings.Replace(string(src), storeLine,
+		"_ = time.Now().Unix()\n\t"+storeLine, 1)
+	mutated = strings.Replace(mutated, "\"sort\"", "\"sort\"\n\t\"time\"", 1)
+	if err := os.WriteFile(conc, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunModule(RunOptions{
+		Dir:       root,
+		Patterns:  []string{"./internal/concretizer"},
+		Analyzers: []*Analyzer{Purity},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []Finding
+	for _, f := range res.Findings {
+		if f.Analyzer == "purity" && !f.Suppressed {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("purity missed the time.Now() read seeded into the memoized concretizer path")
+	}
+	for _, f := range hits {
+		if f.File != "internal/concretizer/concretizer.go" {
+			t.Errorf("finding in %s, want internal/concretizer/concretizer.go", f.File)
+		}
+		if !strings.Contains(f.Message, "ConcretizeTogether") {
+			t.Errorf("finding does not name the memoized root: %s", f.Message)
+		}
+		if !strings.Contains(f.Message, "wall clock") {
+			t.Errorf("finding does not name the ambient read: %s", f.Message)
+		}
+	}
+}
+
+// TestKeyCoverFlagsSeededUnkeyedField plants the "someone added a
+// field but not to the key" drift bug: an exported field tagged
+// json:"-" in the struct core hashes into the execute cache key.
+func TestKeyCoverFlagsSeededUnkeyedField(t *testing.T) {
+	root := copyModule(t, "../..")
+
+	cache := filepath.Join(root, "internal", "core", "cache.go")
+	src, err := os.ReadFile(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lockField = "Lockfile   string\n"
+	if n := strings.Count(string(src), lockField); n != 1 {
+		t.Fatalf("found %d occurrences of %q in cache.go, want 1 (mutation site moved?)", n, lockField)
+	}
+	mutated := strings.Replace(string(src), lockField,
+		lockField+"\t\tDeadline   string `json:\"-\"`\n", 1)
+	if err := os.WriteFile(cache, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunModule(RunOptions{
+		Dir:       root,
+		Patterns:  []string{"./internal/core"},
+		Analyzers: []*Analyzer{KeyCover},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []Finding
+	for _, f := range res.Findings {
+		if f.Analyzer == "keycover" && !f.Suppressed {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("keycover missed the json:\"-\" field seeded into the execute key struct")
+	}
+	for _, f := range hits {
+		if f.File != "internal/core/cache.go" {
+			t.Errorf("finding in %s, want internal/core/cache.go", f.File)
+		}
+		if !strings.Contains(f.Message, "Deadline") {
+			t.Errorf("finding does not name the uncovered field: %s", f.Message)
+		}
+	}
+}

@@ -44,6 +44,7 @@ func RunModule(opts RunOptions) (*ModuleResult, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	//benchlint:ignore purity go list only selects the file set; every selected file's contents are hashed into each package's cache key, so the cached result cannot drift from what the subprocess saw
 	listed, err := goList(opts.Dir, patterns)
 	if err != nil {
 		return nil, err

@@ -3,10 +3,11 @@ package analysis
 // Suite returns benchlint's project-invariant analyzers, in the order
 // they are documented: the five intra-package rules the execution
 // engine's correctness rests on (DESIGN.md "Enforced invariants"),
-// followed by the three interprocedural ones built on the fact system
-// (DESIGN.md §10).
+// the three interprocedural ones built on the fact system (DESIGN.md
+// §10), and the cache-soundness tier that proves warm replays are
+// pure functions of their keys (DESIGN.md §12).
 func Suite() []*Analyzer {
-	return []*Analyzer{CtxFlow, Determinism, StageErr, Locks, SpanEnd, LockOrder, GoroLeak, WalAck}
+	return []*Analyzer{CtxFlow, Determinism, StageErr, Locks, SpanEnd, LockOrder, GoroLeak, WalAck, Purity, MapOrder, KeyCover}
 }
 
 // ByName resolves a comma-separated selection against the suite.

@@ -1,0 +1,42 @@
+// Package fixture exercises the keycover analyzer: values hashed by a
+// cachekey.Hash-shaped function whose fields the canonical-JSON key
+// encoder cannot see — unexported, json:"-"-tagged, unencodable — and
+// a map whose key type cannot be canonically encoded.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+// Hash mirrors cachekey.Hash's signature: one empty-interface
+// parameter whose value becomes key material via canonical JSON.
+func Hash(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))
+}
+
+type badKey struct {
+	Name     string
+	revision int           //want keycover
+	Comment  string        `json:"-"` //want keycover
+	Notify   func()        //want keycover
+	Inner    nestedSection `json:"inner"`
+}
+
+type nestedSection struct {
+	Label  string
+	hidden bool //want keycover
+}
+
+func UseBad(k badKey) string {
+	return Hash(k)
+}
+
+func UseBadMapKey(m map[float64]string) string {
+	return Hash(m) //want keycover
+}

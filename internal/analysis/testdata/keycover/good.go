@@ -1,0 +1,63 @@
+// Near-misses for the keycover analyzer: a fully covered key struct,
+// a self-marshaling type (its unexported fields are its own
+// business), an interface field (runtime value decides), and a
+// differently-shaped function that is not a key derivation.
+package fixture
+
+import "strconv"
+
+type goodKey struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	Pinned  bool
+	Inner   coveredSection `json:"inner"`
+}
+
+type coveredSection struct {
+	Label string
+	Count int
+}
+
+func UseGood(k goodKey) string {
+	return Hash(k)
+}
+
+// version marshals itself; the encoder sees exactly what MarshalText
+// emits, unexported fields and all.
+type version struct {
+	major, minor int
+}
+
+func (v version) MarshalText() ([]byte, error) {
+	return []byte(strconv.Itoa(v.major) + "." + strconv.Itoa(v.minor)), nil
+}
+
+type selfCoveredKey struct {
+	Name string
+	Ver  version
+}
+
+func UseSelfCovered(k selfCoveredKey) string {
+	return Hash(k)
+}
+
+type dynamicKey struct {
+	Name    string
+	Payload any
+}
+
+func UseDynamic(k dynamicKey) string {
+	return Hash(k)
+}
+
+// digest is not Hash-shaped (named differently), so its argument is
+// not key material.
+func digest(v any) string { return "" }
+
+type uncheckedAux struct {
+	note string
+}
+
+func UseAux(a uncheckedAux) string {
+	return digest(a)
+}

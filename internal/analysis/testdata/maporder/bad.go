@@ -1,0 +1,64 @@
+// Package fixture exercises the maporder analyzer: map-range loops
+// whose iteration order reaches a hash, a streaming encoder, a
+// writing helper's fact, and a merge path.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"os"
+)
+
+func DigestEntries(m map[string]string) []byte {
+	h := sha256.New()
+	for k, v := range m { //want maporder
+		h.Write([]byte(k + "=" + v))
+	}
+	return h.Sum(nil)
+}
+
+func StreamEntries(f *os.File, m map[string]int) error {
+	enc := json.NewEncoder(f)
+	for k, v := range m { //want maporder
+		if err := enc.Encode(map[string]int{k: v}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func DumpEntries(f *os.File, m map[string]string) {
+	for k := range m { //want maporder
+		emitLine(f, k)
+	}
+}
+
+func MergeAll(results map[string][]int) []int {
+	var out []int
+	for _, rs := range results { //want maporder
+		out = MergeSorted(out, rs)
+	}
+	return out
+}
+
+func emitLine(f *os.File, s string) {
+	f.WriteString(s + "\n")
+}
+
+// MergeSorted merges two sorted runs; feeding it in map order defeats
+// the determinism its callers rely on.
+func MergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

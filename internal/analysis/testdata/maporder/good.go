@@ -1,0 +1,49 @@
+// Near-misses for the maporder analyzer: the sorted-keys form the fix
+// produces, a whole-map Marshal (encoding/json sorts keys itself), a
+// slice range feeding a hash, and a map range with no byte sink.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"sort"
+)
+
+// DigestSorted is the repaired shape: iteration runs over a sorted
+// slice, not the map.
+func DigestSorted(m map[string]string) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k + "=" + m[k]))
+	}
+	return h.Sum(nil)
+}
+
+// MarshalWhole hands the map to encoding/json in one piece, which
+// emits keys sorted.
+func MarshalWhole(m map[string]string) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// DigestSlice ranges over a slice; its order is the caller's.
+func DigestSlice(items []string) []byte {
+	h := sha256.New()
+	for _, it := range items {
+		h.Write([]byte(it))
+	}
+	return h.Sum(nil)
+}
+
+// CountValues ranges over a map without any order-sensitive sink.
+func CountValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,47 @@
+// Package fixture exercises the purity analyzer: memoized brackets
+// whose compute reads ambient state — directly, and transitively
+// through a callee's fact — and a key derivation that folds the
+// process environment into the key.
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+type memoCache struct{ entries map[string]string }
+
+func (c *memoCache) Get(key string) (string, bool) {
+	v, ok := c.entries[key]
+	return v, ok
+}
+
+func (c *memoCache) Put(key, value string) { c.entries[key] = value }
+
+// Solve brackets its compute with a cache lookup/store; the compute
+// reads the clock through a helper's fact.
+func Solve(c *memoCache, key string) string {
+	if v, ok := c.Get(key); ok {
+		return v
+	}
+	v := stamp() //want purity
+	c.Put(key, v)
+	return v
+}
+
+// SolveDirect reads the clock in the bracket body itself.
+func SolveDirect(c *memoCache, key string) string {
+	if v, ok := c.Get(key); ok {
+		return v
+	}
+	v := time.Now().String() //want purity
+	c.Put(key, v)
+	return v
+}
+
+// cacheKeyFor derives a key from state the key's inputs never see.
+func cacheKeyFor(name string) string {
+	return name + os.Getenv("WORKSPACE") //want purity
+}
+
+func stamp() string { return time.Now().String() }

@@ -1,0 +1,44 @@
+// Near-misses for the purity analyzer: an injected clock on a
+// memoized path, an impure function that no cached path reaches, a
+// bracket whose compute only reads files (content-keyed loaders do),
+// and a pure key derivation.
+package fixture
+
+import (
+	"os"
+	"time"
+)
+
+// SolveInjected receives the time instead of reading it: the caller
+// folded it into the key's inputs, so the bracket stays pure.
+func SolveInjected(c *memoCache, key string, now time.Time) string {
+	if v, ok := c.Get(key); ok {
+		return v
+	}
+	v := key + now.String()
+	c.Put(key, v)
+	return v
+}
+
+// Uptime is impure but unreachable from any memoized or key path;
+// purity has nothing to say about it.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// SolveFromFile reads file contents inside the bracket: allowed —
+// content-addressed keys hash exactly those bytes.
+func SolveFromFile(c *memoCache, key, path string) string {
+	if v, ok := c.Get(key); ok {
+		return v
+	}
+	data, _ := os.ReadFile(path)
+	v := string(data)
+	c.Put(key, v)
+	return v
+}
+
+// KeyFor is a pure function of its inputs.
+func KeyFor(name, version string) string {
+	return name + "@" + version
+}

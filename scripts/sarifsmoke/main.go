@@ -1,0 +1,57 @@
+// Command sarifsmoke validates benchlint's SARIF output for the
+// verify gate: the file must parse as JSON, declare SARIF 2.1.0, and
+// carry at least zero well-formed runs each naming a driver. It is a
+// structural smoke check — CI uploaders are the real consumers — so a
+// malformed emission fails the gate before it fails the annotation
+// pipeline.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: sarifsmoke <file.sarif>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sarifsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		fmt.Fprintf(os.Stderr, "sarifsmoke: %s is not valid JSON: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	if log.Version != "2.1.0" {
+		fmt.Fprintf(os.Stderr, "sarifsmoke: version = %q, want 2.1.0\n", log.Version)
+		os.Exit(1)
+	}
+	if log.Runs == nil {
+		fmt.Fprintln(os.Stderr, "sarifsmoke: missing runs array")
+		os.Exit(1)
+	}
+	results := 0
+	for i, r := range log.Runs {
+		if r.Tool.Driver.Name == "" {
+			fmt.Fprintf(os.Stderr, "sarifsmoke: run %d has no tool.driver.name\n", i)
+			os.Exit(1)
+		}
+		results += len(r.Results)
+	}
+	fmt.Printf("sarifsmoke: ok (%d run(s), %d result(s))\n", len(log.Runs), results)
+}

@@ -13,6 +13,13 @@
 # end to end. A -diff dry-run also fails the gate when mechanical
 # fixes exist that nobody applied.
 #
+# benchlint runs ratchet-gated against the committed
+# .benchlint-baseline.json (only NEW findings fail; the file is empty,
+# so the floor is zero), the cache-soundness tier (purity, maporder,
+# keycover) gets an explicit pass over the whole module with the
+# incremental cache on, and the SARIF emission is smoke-checked by
+# scripts/sarifsmoke before CI ever depends on it.
+#
 # Finally, the incremental re-run gate runs the example suite twice
 # over a shared --cache-dir: the second run must be 100% run-layer
 # cache hits and leave a byte-identical results.json behind.
@@ -27,8 +34,17 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> benchlint (project invariants)"
-go run ./cmd/benchlint
+echo "==> benchlint (project invariants, ratchet-gated, cached)"
+lint_cache=$(mktemp -d)
+go run ./cmd/benchlint -cache "$lint_cache/pkg" -baseline .benchlint-baseline.json
+
+echo "==> benchlint cache-soundness tier (purity, maporder, keycover)"
+go run ./cmd/benchlint -cache "$lint_cache/pkg" -baseline .benchlint-baseline.json -run purity,maporder,keycover
+
+echo "==> benchlint -format sarif (smoke: parses as SARIF 2.1.0)"
+go run ./cmd/benchlint -cache "$lint_cache/pkg" -format sarif -baseline .benchlint-baseline.json >"$lint_cache/benchlint.sarif" || true
+go run ./scripts/sarifsmoke "$lint_cache/benchlint.sarif"
+rm -rf "$lint_cache"
 
 echo "==> benchlint -diff (no unapplied mechanical fixes)"
 fixes=$(go run ./cmd/benchlint -diff || true)
