@@ -293,8 +293,12 @@ func usage() {
   benchpark archive <suite> <system> <out.tar.gz>
   benchpark provision <name> <instance-type> <nodes> [suite]
   benchpark report [out.md] [-full]
-  benchpark serve [--addr A] [--data DIR]
-                                       run the results federation service
+  benchpark serve [--addr A] [--data DIR] [--metrics] [--pprof]
+            [--selfmonitor DUR]        run the results federation service;
+                                       --metrics adds /metrics + /debug/ops,
+                                       --pprof adds /debug/pprof, and
+                                       --selfmonitor samples the service's
+                                       own latency into its store
   benchpark push <suite> <system> <server-url>
                                        run a suite and push its results
   benchpark history <server-url> <benchmark> <fom> [--system S]

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metricsdb"
@@ -16,13 +18,19 @@ import (
 	"repro/internal/telemetry"
 )
 
-// serveCmd implements `benchpark serve [--addr A] [--data DIR]`: open
-// (or create) a durable result store and serve the resultsd
-// federation API over it. The process runs until killed; the store's
-// WAL makes that safe at any instant.
+// serveCmd implements `benchpark serve [--addr A] [--data DIR]
+// [--metrics] [--pprof] [--selfmonitor DUR]`: open (or create) a
+// durable result store and serve the resultsd federation API over it.
+// --metrics adds the /metrics and /debug/ops operations endpoints,
+// --pprof the /debug/pprof profile handlers, and --selfmonitor starts
+// a loop sampling the service's own request latency into the store
+// through the normal ingest path. The process runs until killed; the
+// store's WAL makes that safe at any instant.
 func serveCmd(args []string, opts *execOpts) error {
 	addr := "127.0.0.1:8321"
 	dataDir := "benchpark-results"
+	withMetrics, withPprof := false, false
+	var selfmonitor time.Duration
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "--addr", "-addr":
@@ -37,6 +45,20 @@ func serveCmd(args []string, opts *execOpts) error {
 			}
 			dataDir = args[i+1]
 			i++
+		case "--metrics", "-metrics":
+			withMetrics = true
+		case "--pprof", "-pprof":
+			withPprof = true
+		case "--selfmonitor", "-selfmonitor":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--selfmonitor needs an interval (e.g. 30s)")
+			}
+			d, err := time.ParseDuration(args[i+1])
+			if err != nil || d <= 0 {
+				return fmt.Errorf("bad --selfmonitor interval %q", args[i+1])
+			}
+			selfmonitor = d
+			i++
 		default:
 			return fmt.Errorf("serve: unknown argument %q", args[i])
 		}
@@ -50,13 +72,30 @@ func serveCmd(args []string, opts *execOpts) error {
 	// accrue for the life of the process; --trace-out additionally
 	// dumps them when the listener stops.
 	tracer := telemetry.New(nil)
-	srv := resultsd.New(store, tracer)
+	var sopts []resultsd.Option
+	if withMetrics {
+		sopts = append(sopts, resultsd.WithOps())
+	}
+	if withPprof {
+		sopts = append(sopts, resultsd.WithPprof())
+	}
+	srv := resultsd.New(store, tracer, sopts...)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("==> resultsd serving %d results on http://%s (data %s)\n",
 		store.Len(), ln.Addr(), dataDir)
+	if withMetrics {
+		fmt.Printf("==> ops plane on http://%s/metrics and /debug/ops\n", ln.Addr())
+	}
+	if selfmonitor > 0 {
+		mon := resultsd.NewSelfMonitor(resultsd.NewClient("http://"+ln.Addr().String()), srv, "")
+		mctx, mcancel := context.WithCancel(context.Background())
+		defer mcancel()
+		go mon.Run(mctx, selfmonitor)
+		fmt.Printf("==> selfmonitor sampling every %s\n", selfmonitor)
+	}
 	serveErr := http.Serve(ln, srv.Handler())
 	if opts.traceOut != "" {
 		if err := writeTrace(opts.traceOut, tracer.Snapshot()); err != nil {
@@ -71,8 +110,11 @@ func serveCmd(args []string, opts *execOpts) error {
 // results to a resultsd endpoint through the same
 // metricsdb.ResultsFromReport bridge the CI pipelines use. The ingest
 // key is derived from the result content, so re-pushing an identical
-// run is a server-side no-op.
-func pushCmd(args []string, opts *execOpts) error {
+// run is a server-side no-op. Under --trace-out, the push itself is a
+// "push:cli" span in the run's trace, and the client propagates the
+// trace context to the server, so the stored results carry this run's
+// trace ID as provenance.
+func pushCmd(args []string, opts *execOpts) (err error) {
 	if len(args) != 3 {
 		return fmt.Errorf("usage: benchpark push <suite> <system> <server-url>")
 	}
@@ -93,10 +135,14 @@ func pushCmd(args []string, opts *execOpts) error {
 	if err != nil {
 		return err
 	}
+	// The trace is written on the way out, AFTER the push, so the
+	// push:cli span (and its propagated server join) is part of it.
+	defer func() {
+		if ferr := opts.finish(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	rep, erep, err := sess.Run(ctx, core.RunOptions{Jobs: opts.jobs, Timeout: opts.timeout})
-	if ferr := opts.finish(); ferr != nil && err == nil {
-		err = ferr
-	}
 	if err != nil {
 		return err
 	}
@@ -112,10 +158,16 @@ func pushCmd(args []string, opts *execOpts) error {
 	sum := sha256.Sum256(data)
 	key := fmt.Sprintf("cli-%s-%s-%x", sess.Suite, system, sum[:8])
 	client := resultsd.NewClient(serverURL)
-	resp, err := client.Push(ctx, key, results)
+	pctx, span := telemetry.StartSpan(ctx, "push:cli")
+	span.SetAttr("ingest_key", key)
+	span.SetInt("results", len(results))
+	resp, err := client.Push(pctx, key, results)
 	if err != nil {
+		span.SetError(err)
+		span.End()
 		return err
 	}
+	span.End()
 	if resp.Duplicate {
 		fmt.Printf("==> server already holds this batch (key %s); nothing pushed\n", key)
 	} else {

@@ -58,10 +58,14 @@ type CacheProvenance struct {
 
 // Pipeline is one CI run for a commit.
 type Pipeline struct {
-	ID     int
-	SHA    string
-	Stages []string
-	Jobs   []*CIJob
+	ID  int
+	SHA string
+	// TraceID is the run's distributed-trace identity (empty when the
+	// pipeline ran untraced). Results pushed from this pipeline's jobs
+	// carry it into the shared metrics database as provenance.
+	TraceID string
+	Stages  []string
+	Jobs    []*CIJob
 	// TriggeredBy is the GitHub author whose push caused the run;
 	// ApprovedBy is the admin whose approval let it reach HPC.
 	TriggeredBy, ApprovedBy string
@@ -237,6 +241,7 @@ func (gl *GitLab) RunPipelineContext(ctx context.Context, sha, triggeredBy, appr
 	// One span per pipeline and per executed job (skipped jobs never
 	// reach a runner and record no span).
 	pctx, pspan := telemetry.StartSpan(ctx, "pipeline")
+	p.TraceID = pspan.TraceID()
 	pspan.SetAttr("sha", sha)
 	pspan.SetAttr("triggered_by", triggeredBy)
 	defer pspan.End()

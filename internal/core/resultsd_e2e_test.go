@@ -102,6 +102,80 @@ func TestPipelinePushesToResultsd(t *testing.T) {
 	}
 }
 
+// TestPipelineTraceProvenanceEndToEnd runs the whole federation loop
+// under distributed tracing: a traced nightly pipeline pushes its
+// results into a resultsd with its OWN tracer on a different epoch,
+// and afterwards (a) the pipeline's trace ID is queryable as the
+// provenance of every stored point, and (b) the runner and server
+// snapshots merge into one trace that is byte-identical across two
+// identical runs — the CI-scale version of resultsd's
+// TestMergedTraceByteIdentical.
+func TestPipelineTraceProvenanceEndToEnd(t *testing.T) {
+	run := func() (pipelineTraceID string, pts []resultsd.SeriesPoint, merged string) {
+		store, err := resultstore.Open(t.TempDir(), resultstore.Options{
+			Clock:               telemetry.FixedClock{T: time.Unix(1800000000, 0)},
+			NoBackgroundCompact: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { store.Close() })
+		srvTracer := telemetry.New(telemetry.FixedClock{T: time.Unix(1800000000, 0)})
+		ts := httptest.NewServer(resultsd.New(store, srvTracer).Handler())
+		defer ts.Close()
+
+		bp := New()
+		auto, err := NewAutomation(bp, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		auto.Results = resultsd.NewClient(ts.URL)
+
+		runner := telemetry.New(telemetry.FixedClock{T: time.Unix(1700000000, 0)})
+		ctx := telemetry.WithTracer(context.Background(), runner)
+		p, err := auto.RunNightlyContext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Status() != ci.JobSuccess {
+			t.Fatalf("pipeline: %v", p.Status())
+		}
+		if p.TraceID != runner.TraceID() {
+			t.Fatalf("pipeline trace ID %q, want the runner tracer's %q", p.TraceID, runner.TraceID())
+		}
+
+		client := resultsd.NewClient(ts.URL)
+		pts, err = client.Series(context.Background(), metricsdb.Filter{
+			Benchmark: "saxpy", System: "cts1", Experiment: "saxpy_openmp_512_1_8_2",
+		}, "saxpy_time")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt, err := telemetry.MergeTraces(runner.Snapshot(), srvTracer.Snapshot()).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.TraceID, pts, mt
+	}
+
+	id1, pts1, merged1 := run()
+	id2, _, merged2 := run()
+	if id1 != id2 {
+		t.Fatalf("pipeline trace IDs differ across identical runs: %q vs %q", id1, id2)
+	}
+	if len(pts1) == 0 {
+		t.Fatal("no stored points")
+	}
+	for i, p := range pts1 {
+		if p.TraceID != id1 {
+			t.Fatalf("point %d provenance %q, want pipeline trace %q", i, p.TraceID, id1)
+		}
+	}
+	if merged1 != merged2 {
+		t.Fatalf("merged traces differ across identical runs:\n--- run 1\n%.2000s\n--- run 2\n%.2000s", merged1, merged2)
+	}
+}
+
 // TestResultsdObservesInjectedRegression pushes a crafted slowdown
 // into the service next to healthy CI data and observes it through
 // GET /v1/regressions — the regression-tracking workflow of Section 1

@@ -139,8 +139,13 @@ type Options struct {
 // returned, even on cancellation or a fatal stage error, so callers
 // see exactly how far the matrix got.
 type Report struct {
-	Label    string
-	Jobs     int // resolved worker-pool size
+	Label string
+	// TraceID is the distributed-trace identity of this run (from the
+	// context's telemetry.Tracer; empty when the run is untraced). It
+	// travels with the published results into the federation layer so
+	// stored points name the run that produced them.
+	TraceID string
+	Jobs    int // resolved worker-pool size
 	Total    int // experiments in the matrix
 	Executed int // experiments that reached the execute stage (run or replayed)
 	Failed   int // executed experiments whose Execute returned an error
@@ -308,6 +313,7 @@ func Run(ctx context.Context, r Runner, opts Options) (*Report, error) {
 	var acc timingAcc
 
 	ctx, root := telemetry.StartSpan(ctx, "engine.run")
+	rep.TraceID = root.TraceID()
 	root.SetAttr("label", rep.Label)
 	defer root.End()
 	defer func() {

@@ -39,6 +39,7 @@ func ResultsFromReport(rep *engine.Report, manifests map[string]string) []Result
 			Experiment: er.Experiment,
 			FOMs:       ParseFOMs(er.FOMs),
 			Manifest:   manifests[er.Experiment],
+			TraceID:    rep.TraceID,
 		}
 		if len(er.Meta) > 0 {
 			r.Meta = make(map[string]string, len(er.Meta))

@@ -31,6 +31,12 @@ type Result struct {
 	// system-, and experiment-specific) enabling functional
 	// reproducibility of this data point.
 	Manifest string `json:"manifest,omitempty"`
+	// TraceID identifies the run that produced this result (32
+	// lowercase hex chars, W3C trace-context format). It links every
+	// stored point back to the originating runner's distributed trace,
+	// so "which run produced this point" is answerable from a series
+	// query alone.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // DB is a thread-safe result store.
@@ -110,10 +116,13 @@ func (db *DB) Query(f Filter) []Result {
 	return out
 }
 
-// Point is one (sequence, value) sample of a FOM series.
+// Point is one (sequence, value) sample of a FOM series, tagged with
+// the trace ID of the run that produced it (empty for results pushed
+// without trace context).
 type Point struct {
-	Seq   int
-	Value float64
+	Seq     int
+	Value   float64
+	TraceID string
 }
 
 // Series extracts the time series of one FOM under a filter.
@@ -121,7 +130,7 @@ func (db *DB) Series(f Filter, fom string) []Point {
 	var out []Point
 	for _, r := range db.Query(f) {
 		if v, ok := r.FOMs[fom]; ok {
-			out = append(out, Point{Seq: r.Seq, Value: v})
+			out = append(out, Point{Seq: r.Seq, Value: v, TraceID: r.TraceID})
 		}
 	}
 	return out

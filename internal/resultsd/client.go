@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/metricsdb"
+	"repro/internal/telemetry"
 )
 
 // Client is a typed client for the resultsd API with context-aware
@@ -55,10 +56,16 @@ func (e *retryableError) Unwrap() error { return e.err }
 
 // do runs one API call with the retry policy and decodes the JSON
 // response into out.
-func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any) error {
+//
+// The whole logical call is ONE span ("rpc:<route>") and ONE
+// traceparent: the header is computed once, before the retry loop, so
+// every attempt carries the identical trace context — the server sees
+// one logical operation whether it took one attempt or five, mirroring
+// how the ingest key makes retried POSTs one logical batch. The span
+// records the attempt count instead of opening a span per attempt.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any) (err error) {
 	var payload []byte
 	if body != nil {
-		var err error
 		payload, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("resultsd: encoding request: %w", err)
@@ -67,6 +74,19 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	u := strings.TrimSuffix(c.BaseURL, "/") + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
+	}
+	ctx, span := telemetry.StartSpan(ctx, "rpc:"+strings.TrimPrefix(path, "/v1/"))
+	defer span.End()
+	attempts := 0
+	defer func() {
+		span.SetInt("attempts", attempts)
+		if err != nil {
+			span.SetError(err)
+		}
+	}()
+	traceparent := ""
+	if tc, ok := telemetry.PropagationContext(ctx); ok {
+		traceparent = tc.Traceparent()
 	}
 	backoff := c.RetryBackoff
 	if backoff <= 0 {
@@ -78,21 +98,22 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		if err := ctx.Err(); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
 			if lastErr != nil {
-				return fmt.Errorf("resultsd: %w (last attempt: %v)", err, lastErr)
+				return fmt.Errorf("resultsd: %w (last attempt: %v)", cerr, lastErr)
 			}
-			return fmt.Errorf("resultsd: %w", err)
+			return fmt.Errorf("resultsd: %w", cerr)
 		}
-		err := c.once(ctx, method, u, payload, out)
-		if err == nil {
+		attempts++
+		aerr := c.once(ctx, method, u, traceparent, payload, out)
+		if aerr == nil {
 			return nil
 		}
 		var re *retryableError
-		if !errors.As(err, &re) || attempt >= retries {
-			return fmt.Errorf("resultsd: %s %s: %w", method, path, err)
+		if !errors.As(aerr, &re) || attempt >= retries {
+			return fmt.Errorf("resultsd: %s %s: %w", method, path, aerr)
 		}
-		lastErr = err
+		lastErr = aerr
 		timer := time.NewTimer(backoff)
 		select {
 		case <-ctx.Done():
@@ -104,8 +125,9 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	}
 }
 
-// once performs a single HTTP attempt.
-func (c *Client) once(ctx context.Context, method, u string, payload []byte, out any) error {
+// once performs a single HTTP attempt. traceparent comes from do so
+// retried attempts share one trace context.
+func (c *Client) once(ctx context.Context, method, u, traceparent string, payload []byte, out any) error {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
@@ -116,6 +138,9 @@ func (c *Client) once(ctx context.Context, method, u string, payload []byte, out
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceparent != "" {
+		req.Header.Set(telemetry.TraceparentHeader, traceparent)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

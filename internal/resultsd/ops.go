@@ -1,0 +1,128 @@
+package resultsd
+
+// The live operations plane. Liveness (/healthz) and readiness
+// (/readyz) are split deliberately: a resultsd whose WAL directory
+// vanished or filled up can no longer take durable writes — /readyz
+// flips to 503 with the reason so a load balancer drains ingest — but
+// its in-memory state still serves queries, so /healthz stays 200 and
+// readers keep working. /metrics renders the tracer registry (the
+// same per-route families the request instrumentation feeds) plus a
+// server-owned block of lock-free counters; /debug/ops is the same
+// picture as structured JSON for humans and the selfmonitor loop.
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/resultstore"
+	"repro/internal/telemetry"
+)
+
+// RouteStats is one route's operational account.
+type RouteStats struct {
+	Requests int64                       `json:"requests"`
+	Errors   int64                       `json:"errors"`
+	Latency  telemetry.HistogramSnapshot `json:"latency"`
+}
+
+// OpsSnapshot is the /debug/ops body: a point-in-time picture of the
+// server's live work and the store underneath it.
+type OpsSnapshot struct {
+	InFlight         int64                 `json:"in_flight"`
+	IngestBatches    int64                 `json:"ingest_batches"`
+	IngestDuplicates int64                 `json:"ingest_duplicate_batches"`
+	IngestResults    int64                 `json:"ingest_results"`
+	Store            resultstore.Health    `json:"store"`
+	Routes           map[string]RouteStats `json:"routes"`
+}
+
+// OpsSnapshot assembles the live operational picture. Latency
+// histograms come from the tracer registry under the exact names the
+// instrumentation registered, so the JSON view and the /metrics view
+// can never disagree about what was observed.
+func (s *Server) OpsSnapshot() OpsSnapshot {
+	snap := s.tracer.Metrics().Snapshot()
+	ops := OpsSnapshot{
+		InFlight:         s.inFlight.Load(),
+		IngestBatches:    s.ingestBatches.Load(),
+		IngestDuplicates: s.ingestDuplicates.Load(),
+		IngestResults:    s.ingestResults.Load(),
+		Store:            s.store.Health(),
+		Routes:           make(map[string]RouteStats, len(s.routes)),
+	}
+	for route, rc := range s.routes {
+		ops.Routes[route] = RouteStats{
+			Requests: rc.requests.Load(),
+			Errors:   rc.errors.Load(),
+			Latency:  snap.Histograms[fmt.Sprintf("resultsd_request_seconds{route=%q}", route)],
+		}
+	}
+	return ops
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+// It stays 200 even when the store cannot take writes — queries still
+// work off the in-memory state — which is exactly the split that lets
+// an operator distinguish "dead" from "degraded".
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n")) //nolint:errcheck
+}
+
+// handleReadyz is readiness for durable ingest: 200 "ready" when the
+// store can take writes, 503 with the store's Health (including the
+// human-readable Reason) when it cannot.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.store.Health()
+	if h.Ready {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ready\n")) //nolint:errcheck
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, h)
+}
+
+// handleMetrics renders the Prometheus text exposition: the tracer
+// registry's live families first, then the server-owned block. The
+// two use disjoint family names, so the concatenation is a valid
+// exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	b.WriteString(s.tracer.Metrics().PrometheusText())
+	s.writeServerMetrics(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String())) //nolint:errcheck
+}
+
+// writeServerMetrics renders the counters the server tracks outside
+// the tracer registry, plus store gauges from Health. All values are
+// integral, so they render with %d.
+func (s *Server) writeServerMetrics(b *strings.Builder) {
+	h := s.store.Health()
+	ready := int64(0)
+	if h.Ready {
+		ready = 1
+	}
+	for _, m := range []struct {
+		name, typ string
+		v         int64
+	}{
+		{"resultsd_inflight_requests", "gauge", s.inFlight.Load()},
+		{"resultsd_ingest_batches_total", "counter", s.ingestBatches.Load()},
+		{"resultsd_ingest_duplicate_batches_total", "counter", s.ingestDuplicates.Load()},
+		{"resultsd_ingest_results_total", "counter", s.ingestResults.Load()},
+		{"resultsd_store_ready", "gauge", ready},
+		{"resultsd_store_results", "gauge", int64(h.Results)},
+		{"resultsd_store_ingest_keys", "gauge", int64(h.IngestKeys)},
+		{"resultsd_wal_active_segment", "gauge", int64(h.ActiveSegment)},
+		{"resultsd_wal_active_bytes", "gauge", h.ActiveSizeBytes},
+	} {
+		fmt.Fprintf(b, "# TYPE %s %s\n%s %d\n", m.name, m.typ, m.name, m.v)
+	}
+}
+
+// handleOps serves the OpsSnapshot as JSON.
+func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.OpsSnapshot())
+}

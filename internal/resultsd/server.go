@@ -18,11 +18,22 @@
 // the execution engine: a span per request (http:<route>), plus
 // request/error counters and a latency histogram per route, all read
 // from the server's injected tracer so traces flow through the server
-// the same way they flow through the engine. Responses are
-// deterministic: series points sort by sequence, systems sort by
-// name, and no wall-clock value is ever serialized — restarting the
-// store and re-serving yields byte-identical bodies (pinned by
+// the same way they flow through the engine. A request carrying a
+// W3C `traceparent` header joins the caller's distributed trace: the
+// request span adopts the remote trace ID and records the caller's
+// span as its remote parent, and ingested results are stamped with
+// that trace ID as provenance — so GET /v1/series can answer "which
+// run produced this point". Responses are deterministic: series
+// points sort by sequence, systems sort by name, and no wall-clock
+// value is ever serialized — restarting the store and re-serving
+// yields byte-identical bodies (pinned by
 // TestServeByteIdenticalAcrossRestart).
+//
+// Beyond the data API, the server carries a live operations plane
+// (see ops.go): /healthz and /readyz are always registered; WithOps
+// adds /metrics (Prometheus text) and /debug/ops (a JSON snapshot of
+// in-flight work, WAL geometry and per-route latency), and WithPprof
+// opt-ins the net/http/pprof profile handlers.
 package resultsd
 
 import (
@@ -30,7 +41,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 
 	"repro/internal/metricsdb"
 	"repro/internal/resultstore"
@@ -45,17 +58,67 @@ type Server struct {
 	store  *resultstore.Store
 	tracer *telemetry.Tracer
 	mux    *http.ServeMux
+
+	// Live operational counters, readable without the tracer's
+	// registry lock. The routes map is built at New and read-only
+	// afterwards; its counters are atomics.
+	inFlight         atomic.Int64
+	ingestBatches    atomic.Int64
+	ingestDuplicates atomic.Int64
+	ingestResults    atomic.Int64
+	routes           map[string]*routeCounters
 }
+
+// routeCounters are one route's lock-free request/error tallies.
+type routeCounters struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// Option configures optional server surfaces.
+type Option func(*serverConfig)
+
+type serverConfig struct {
+	ops   bool
+	pprof bool
+}
+
+// WithOps registers the /metrics and /debug/ops endpoints.
+func WithOps() Option { return func(c *serverConfig) { c.ops = true } }
+
+// WithPprof registers the net/http/pprof handlers under
+// /debug/pprof/. Off by default: profiles expose internals, so they
+// are a deliberate opt-in (`benchpark serve --pprof`).
+func WithPprof() Option { return func(c *serverConfig) { c.pprof = true } }
 
 // New returns a server over the store. tracer may be nil (requests
 // then run uninstrumented); with a tracer, every request records a
 // span and per-route metrics into it.
-func New(store *resultstore.Store, tracer *telemetry.Tracer) *Server {
-	s := &Server{store: store, tracer: tracer, mux: http.NewServeMux()}
+func New(store *resultstore.Store, tracer *telemetry.Tracer, opts ...Option) *Server {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Server{store: store, tracer: tracer, mux: http.NewServeMux(), routes: map[string]*routeCounters{}}
 	s.mux.HandleFunc("POST /v1/results", s.instrument("results", s.handleIngest))
 	s.mux.HandleFunc("GET /v1/series", s.instrument("series", s.handleSeries))
 	s.mux.HandleFunc("GET /v1/regressions", s.instrument("regressions", s.handleRegressions))
 	s.mux.HandleFunc("GET /v1/systems", s.instrument("systems", s.handleSystems))
+	// The ops plane stays outside instrument() so scrapes and probes
+	// don't pollute the request metrics they report.
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.ops {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+		s.mux.HandleFunc("GET /debug/ops", s.handleOps)
+	}
+	if cfg.pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -80,11 +143,22 @@ func (s *Server) instrument(route string, fn handlerFunc) http.HandlerFunc {
 	requests := met.Counter(fmt.Sprintf("resultsd_requests_total{route=%q}", route))
 	errors := met.Counter(fmt.Sprintf("resultsd_errors_total{route=%q}", route))
 	latency := met.Histogram(fmt.Sprintf("resultsd_request_seconds{route=%q}", route))
+	rc := &routeCounters{}
+	s.routes[route] = rc
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
 		if s.tracer != nil {
 			ctx = telemetry.WithTracer(ctx, s.tracer)
 		}
+		// Join the caller's distributed trace when the request carries
+		// a valid traceparent; the span below then adopts the remote
+		// trace ID instead of the server's own.
+		if tc, ok := telemetry.Extract(r.Header); ok {
+			ctx = telemetry.WithRemote(ctx, tc)
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		rc.requests.Add(1)
 		start := s.tracer.Now()
 		ctx, span := telemetry.StartSpan(ctx, "http:"+route)
 		defer span.End()
@@ -94,6 +168,7 @@ func (s *Server) instrument(route string, fn handlerFunc) http.HandlerFunc {
 		if err := fn(ctx, w, r); err != nil {
 			span.SetError(err)
 			errors.Inc()
+			rc.errors.Add(1)
 		}
 	}
 }
@@ -164,22 +239,36 @@ func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *htt
 	span := telemetry.Current(ctx)
 	span.SetAttr("ingest_key", req.IngestKey)
 	span.SetInt("results", len(req.Results))
-	applied, err := s.store.Append(ctx, resultstore.Batch{Key: req.IngestKey, Results: req.Results})
+	applied, err := s.store.Append(ctx, resultstore.Batch{
+		Key: req.IngestKey,
+		// Provenance: the trace the caller propagated (or the server's
+		// own for untraced pushes) is stamped onto every stored result.
+		TraceID: telemetry.TraceIDFrom(ctx),
+		Results: req.Results,
+	})
 	if err != nil {
 		return fail(w, http.StatusInternalServerError, err)
 	}
+	s.ingestBatches.Add(1)
 	resp := IngestResponse{Duplicate: !applied}
 	if applied {
 		resp.Accepted = len(req.Results)
+		s.ingestResults.Add(int64(len(req.Results)))
+	} else {
+		s.ingestDuplicates.Add(1)
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
-// SeriesPoint is one sample of a served FOM series.
+// SeriesPoint is one sample of a served FOM series. TraceID names the
+// run that produced the sample (empty for results pushed without
+// trace context), so a series response alone answers "which run
+// produced this point".
 type SeriesPoint struct {
-	Seq   int     `json:"seq"`
-	Value float64 `json:"value"`
+	Seq     int     `json:"seq"`
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id,omitempty"`
 }
 
 // SeriesResponse is the GET /v1/series body.
@@ -207,7 +296,7 @@ func (s *Server) handleSeries(ctx context.Context, w http.ResponseWriter, r *htt
 	pts := s.store.Series(filterFromQuery(r), fom)
 	resp := SeriesResponse{FOM: fom, Points: make([]SeriesPoint, 0, len(pts))}
 	for _, p := range pts {
-		resp.Points = append(resp.Points, SeriesPoint{Seq: p.Seq, Value: p.Value})
+		resp.Points = append(resp.Points, SeriesPoint{Seq: p.Seq, Value: p.Value, TraceID: p.TraceID})
 	}
 	telemetry.Current(ctx).SetInt("points", len(resp.Points))
 	writeJSON(w, http.StatusOK, resp)

@@ -57,7 +57,12 @@ const defaultSegmentBytes = 256 << 10
 // results it covers. A key is applied at most once for the lifetime
 // of the store, including across restarts.
 type Batch struct {
-	Key     string
+	Key string
+	// TraceID is the originating run's trace ID (32 lowercase hex
+	// chars when set). It is stamped onto every result in the batch
+	// that does not already carry one, so a later GET /v1/series can
+	// answer "which run produced this point".
+	TraceID string
 	Results []metricsdb.Result
 }
 
@@ -65,6 +70,7 @@ type Batch struct {
 // ID/Seq so replay reconstructs the exact in-memory state.
 type walBatch struct {
 	Key      string             `json:"key"`
+	TraceID  string             `json:"trace_id,omitempty"`
 	Received int64              `json:"received_unix_ns"`
 	Results  []metricsdb.Result `json:"results"`
 }
@@ -102,6 +108,7 @@ type Store struct {
 	snapCovered int
 	closed      bool
 	failed      error // sticky: set when the WAL is in an unknown state
+	compactErr  error // last Compact outcome; cleared by a later success
 
 	compactCh chan struct{}
 	done      chan struct{}
@@ -269,6 +276,17 @@ func (s *Store) Append(ctx context.Context, b Batch) (applied bool, err error) {
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
+	_, span := telemetry.StartSpan(ctx, "wal:commit")
+	defer span.End()
+	span.SetAttr("key", b.Key)
+	span.SetInt("results", len(b.Results))
+	defer func() {
+		if err != nil {
+			span.SetError(err)
+		} else {
+			span.SetAttr("applied", fmt.Sprintf("%v", applied))
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -295,9 +313,13 @@ func (s *Store) Append(ctx context.Context, b Batch) (applied bool, err error) {
 		s.nextSeq++
 		rs[i].ID = s.nextID
 		rs[i].Seq = s.nextSeq
+		if rs[i].TraceID == "" {
+			rs[i].TraceID = b.TraceID
+		}
 	}
 	payload, err := json.Marshal(walBatch{
 		Key:      b.Key,
+		TraceID:  b.TraceID,
 		Received: s.clock.Now().UnixNano(),
 		Results:  rs,
 	})
@@ -385,6 +407,13 @@ func (s *Store) compactor() {
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	err := s.compactLocked()
+	s.compactErr = err
+	return err
+}
+
+// compactLocked does the snapshot fold; caller holds s.mu.
+func (s *Store) compactLocked() error {
 	if s.closed {
 		return fmt.Errorf("resultstore: store is closed")
 	}

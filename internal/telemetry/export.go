@@ -66,41 +66,61 @@ func (t *Trace) CaliperProfile() *caliper.Profile {
 	return p
 }
 
-// PrometheusText renders the trace's metrics in the Prometheus text
-// exposition format, plus one derived metric family
-// (benchpark_span_seconds) summing span time per region path. Metric
-// names may embed a label block (`x{k="v"}`); histogram bucket lines
-// splice the `le` label into it. Output is fully sorted.
-func (t *Trace) PrometheusText() string {
+// PrometheusText renders the snapshot in the Prometheus text
+// exposition format. Metric names may embed a label block
+// (`x{k="v"}`); histogram bucket lines splice the `le` label into it.
+// Output is fully sorted, so identical registry states render
+// byte-identically regardless of observation interleaving.
+func (m MetricsSnapshot) PrometheusText() string {
 	var b strings.Builder
+	m.writeText(&b)
+	return b.String()
+}
 
-	names := sortedKeys(t.Metrics.Counters)
+func (m MetricsSnapshot) writeText(b *strings.Builder) {
+	names := sortedKeys(m.Counters)
 	for _, name := range names {
 		base, labels := splitLabels(name)
-		fmt.Fprintf(&b, "# TYPE %s counter\n", base)
-		fmt.Fprintf(&b, "%s %s\n", joinLabels(base, labels), formatFloat(t.Metrics.Counters[name]))
+		fmt.Fprintf(b, "# TYPE %s counter\n", base)
+		fmt.Fprintf(b, "%s %s\n", joinLabels(base, labels), formatFloat(m.Counters[name]))
 	}
 
-	names = sortedKeys(t.Metrics.Gauges)
+	names = sortedKeys(m.Gauges)
 	for _, name := range names {
 		base, labels := splitLabels(name)
-		fmt.Fprintf(&b, "# TYPE %s gauge\n", base)
-		fmt.Fprintf(&b, "%s %s\n", joinLabels(base, labels), formatFloat(t.Metrics.Gauges[name]))
+		fmt.Fprintf(b, "# TYPE %s gauge\n", base)
+		fmt.Fprintf(b, "%s %s\n", joinLabels(base, labels), formatFloat(m.Gauges[name]))
 	}
 
-	names = sortedKeys(t.Metrics.Histograms)
+	names = sortedKeys(m.Histograms)
 	for _, name := range names {
-		h := t.Metrics.Histograms[name]
+		h := m.Histograms[name]
 		base, labels := splitLabels(name)
-		fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+		fmt.Fprintf(b, "# TYPE %s histogram\n", base)
 		for _, bk := range h.Buckets {
 			le := fmt.Sprintf("le=%q", formatFloat(bk.LE))
-			fmt.Fprintf(&b, "%s %d\n", joinLabels(base+"_bucket", appendLabel(labels, le)), bk.Count)
+			fmt.Fprintf(b, "%s %d\n", joinLabels(base+"_bucket", appendLabel(labels, le)), bk.Count)
 		}
-		fmt.Fprintf(&b, "%s %d\n", joinLabels(base+"_bucket", appendLabel(labels, `le="+Inf"`)), h.Count)
-		fmt.Fprintf(&b, "%s %s\n", joinLabels(base+"_sum", labels), formatFloat(h.Sum))
-		fmt.Fprintf(&b, "%s %d\n", joinLabels(base+"_count", labels), h.Count)
+		fmt.Fprintf(b, "%s %d\n", joinLabels(base+"_bucket", appendLabel(labels, `le="+Inf"`)), h.Count)
+		fmt.Fprintf(b, "%s %s\n", joinLabels(base+"_sum", labels), formatFloat(h.Sum))
+		fmt.Fprintf(b, "%s %d\n", joinLabels(base+"_count", labels), h.Count)
 	}
+}
+
+// PrometheusText renders the registry's CURRENT state as Prometheus
+// text — the live scrape path behind a /metrics endpoint, as opposed
+// to the end-of-run Trace export below. Nil-safe: a nil registry
+// renders empty.
+func (r *Registry) PrometheusText() string {
+	return r.Snapshot().PrometheusText()
+}
+
+// PrometheusText renders the trace's metrics in the Prometheus text
+// exposition format, plus one derived metric family
+// (benchpark_span_seconds) summing span time per region path.
+func (t *Trace) PrometheusText() string {
+	var b strings.Builder
+	t.Metrics.writeText(&b)
 
 	// Span time per region path, so a scrape sees where harness wall
 	// time went without parsing the span list.

@@ -16,8 +16,8 @@ import (
 // exposition splits the label block back out (see export.go).
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]float64
-	gauges   map[string]float64
+	counters map[string]*exactSum
+	gauges   map[string]*exactSum
 	hists    map[string]*histState
 }
 
@@ -25,17 +25,64 @@ type histState struct {
 	bounds []float64 // sorted upper bounds, exclusive of +Inf
 	counts []int64   // non-cumulative per-bound counts
 	over   int64     // observations above the last bound
-	sum    float64
+	sum    exactSum
 	n      int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]float64{},
-		gauges:   map[string]float64{},
+		counters: map[string]*exactSum{},
+		gauges:   map[string]*exactSum{},
 		hists:    map[string]*histState{},
 	}
+}
+
+// exactSum accumulates float64 values with Shewchuk's expansion
+// algorithm: the running total is a list of non-overlapping partials
+// whose sum is the exact mathematical sum of everything added. Plain
+// `+=` is not associative, so a concurrently-fed instrument's value
+// would depend on the goroutine schedule; exact accumulation makes
+// every instrument a pure function of the multiset of observations,
+// which is what lets two identically-fed registries render
+// byte-identical Prometheus text regardless of interleaving (pinned
+// by the MetricsSnapshot determinism test).
+type exactSum struct{ p []float64 }
+
+func (e *exactSum) add(x float64) {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		// A degenerate input poisons the expansion invariants;
+		// collapse to a single sticky partial.
+		e.p = append(e.p[:0], e.value()+x)
+		return
+	}
+	i := 0
+	for _, y := range e.p {
+		if math.Abs(x) < math.Abs(y) {
+			x, y = y, x
+		}
+		hi := x + y
+		lo := y - (hi - x)
+		if lo != 0 {
+			e.p[i] = lo
+			i++
+		}
+		x = hi
+	}
+	e.p = append(e.p[:i], x)
+}
+
+func (e *exactSum) set(x float64) { e.p = append(e.p[:0], x) }
+
+// value sums the partials smallest-to-largest. Because they are
+// non-overlapping, the result is the rounded exact sum, independent
+// of the order the inputs arrived in.
+func (e *exactSum) value() float64 {
+	var s float64
+	for _, v := range e.p {
+		s += v
+	}
+	return s
 }
 
 // DefaultLatencyBuckets are the histogram bounds (seconds) used when
@@ -58,7 +105,7 @@ func (r *Registry) Counter(name string) Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.counters[name]; !ok {
-		r.counters[name] = 0
+		r.counters[name] = &exactSum{}
 	}
 	return Counter{r: r, name: name}
 }
@@ -70,7 +117,7 @@ func (c Counter) Add(v float64) {
 	}
 	c.r.mu.Lock()
 	defer c.r.mu.Unlock()
-	c.r.counters[c.name] += v
+	c.r.counters[c.name].add(v)
 }
 
 // Inc adds one.
@@ -90,7 +137,7 @@ func (r *Registry) Gauge(name string) Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.gauges[name]; !ok {
-		r.gauges[name] = 0
+		r.gauges[name] = &exactSum{}
 	}
 	return Gauge{r: r, name: name}
 }
@@ -102,7 +149,7 @@ func (g Gauge) Set(v float64) {
 	}
 	g.r.mu.Lock()
 	defer g.r.mu.Unlock()
-	g.r.gauges[g.name] = v
+	g.r.gauges[g.name].set(v)
 }
 
 // Add shifts the gauge's value by delta (negative to decrement).
@@ -112,7 +159,7 @@ func (g Gauge) Add(delta float64) {
 	}
 	g.r.mu.Lock()
 	defer g.r.mu.Unlock()
-	g.r.gauges[g.name] += delta
+	g.r.gauges[g.name].add(delta)
 }
 
 // Histogram accumulates observations into fixed buckets.
@@ -153,7 +200,7 @@ func (h Histogram) Observe(v float64) {
 	if st == nil {
 		return
 	}
-	st.sum += v
+	st.sum.add(v)
 	st.n++
 	for i, b := range st.bounds {
 		if v <= b {
@@ -199,19 +246,19 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	if len(r.counters) > 0 {
 		snap.Counters = make(map[string]float64, len(r.counters))
 		for k, v := range r.counters {
-			snap.Counters[k] = v
+			snap.Counters[k] = v.value()
 		}
 	}
 	if len(r.gauges) > 0 {
 		snap.Gauges = make(map[string]float64, len(r.gauges))
 		for k, v := range r.gauges {
-			snap.Gauges[k] = v
+			snap.Gauges[k] = v.value()
 		}
 	}
 	if len(r.hists) > 0 {
 		snap.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
 		for k, st := range r.hists {
-			hs := HistogramSnapshot{Sum: st.sum, Count: st.n}
+			hs := HistogramSnapshot{Sum: st.sum.value(), Count: st.n}
 			cum := int64(0)
 			for i, b := range st.bounds {
 				cum += st.counts[i]

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMetricsSnapshotDeterministicAcrossInterleavings pins the
+// property the live /metrics endpoint depends on: the rendered
+// Prometheus text is a function of WHAT was observed, not of the
+// goroutine schedule that observed it. Two registries are fed the
+// same commutative operation set — one sequentially, one sharded
+// across goroutines in a different order — and must render
+// byte-identical text.
+func TestMetricsSnapshotDeterministicAcrossInterleavings(t *testing.T) {
+	type op func(r *Registry)
+	var ops []op
+	for i := 0; i < 400; i++ {
+		i := i
+		ops = append(ops,
+			func(r *Registry) { r.Counter(`req_total{route="a"}`).Inc() },
+			func(r *Registry) { r.Counter(`req_total{route="b"}`).Add(float64(i % 3)) },
+			func(r *Registry) { r.Gauge("inflight").Add(1) },
+			func(r *Registry) { r.Gauge("inflight").Add(-1) },
+			func(r *Registry) { r.Histogram("lat_seconds").Observe(float64(i%7) * 0.01) },
+			func(r *Registry) { r.Histogram(`lat_seconds{route="a"}`).Observe(float64(i % 11)) },
+		)
+	}
+
+	sequential := NewRegistry()
+	for _, o := range ops {
+		o(sequential)
+	}
+
+	interleaved := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker takes a strided slice, and odd workers walk
+			// it backwards, so the global observation order differs
+			// wildly from the sequential feed.
+			var mine []op
+			for i := w; i < len(ops); i += workers {
+				mine = append(mine, ops[i])
+			}
+			if w%2 == 1 {
+				for i, j := 0, len(mine)-1; i < j; i, j = i+1, j-1 {
+					mine[i], mine[j] = mine[j], mine[i]
+				}
+			}
+			for _, o := range mine {
+				o(interleaved)
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := sequential.PrometheusText()
+	got := interleaved.PrometheusText()
+	if want == "" {
+		t.Fatal("sequential registry rendered empty")
+	}
+	if got != want {
+		t.Fatalf("interleaved registry rendered differently:\n--- sequential\n%s\n--- interleaved\n%s", want, got)
+	}
+}
+
+// TestRegistryPrometheusTextMatchesTraceExport: the live-registry
+// render and the end-of-run trace export agree on the metrics block.
+func TestRegistryPrometheusTextMatchesTraceExport(t *testing.T) {
+	tr := New(fixed())
+	m := tr.Metrics()
+	m.Counter("a_total").Add(3)
+	m.Gauge("g").Set(1.5)
+	m.Histogram("h_seconds").Observe(0.02)
+
+	live := m.PrometheusText()
+	if live == "" {
+		t.Fatal("live render is empty")
+	}
+	exported := tr.Snapshot().PrometheusText()
+	// The trace export may append span families; the metrics block
+	// must be its prefix.
+	if len(exported) < len(live) || exported[:len(live)] != live {
+		t.Fatalf("trace export does not start with the live metrics block:\nlive:\n%s\nexport:\n%s", live, exported)
+	}
+
+	var nilReg *Registry
+	if nilReg.PrometheusText() != "" {
+		t.Fatal("nil registry rendered non-empty text")
+	}
+}

@@ -92,6 +92,7 @@ func (c *StepClock) Now() time.Time {
 type Tracer struct {
 	clock   Clock
 	epoch   time.Time
+	traceID string
 	metrics *Registry
 
 	mu       sync.Mutex
@@ -106,12 +107,24 @@ func New(clock Clock) *Tracer {
 	if clock == nil {
 		clock = wallClock{}
 	}
+	epoch := clock.Now()
 	return &Tracer{
 		clock:    clock,
-		epoch:    clock.Now(),
+		epoch:    epoch,
+		traceID:  deriveTraceID(epoch),
 		metrics:  NewRegistry(),
 		siblings: map[string]int{},
 	}
+}
+
+// TraceID returns the tracer's 32-hex trace identity — deterministic
+// under a FixedClock, see deriveTraceID. Spans started without a
+// remote parent belong to this trace; "" on a nil tracer.
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
 }
 
 // Metrics returns the tracer's registry; nil-safe (a nil tracer
@@ -142,6 +155,12 @@ type Span struct {
 	name   string
 	path   string
 	start  time.Time
+	// traceID and remoteParent are fixed at StartSpan: the trace the
+	// span belongs to (inherited from the parent span, adopted from a
+	// WithRemote caller, or the tracer's own) and, for a span joining
+	// a remote caller's trace, the caller's wire-level span ID.
+	traceID      string
+	remoteParent string
 
 	mu     sync.Mutex
 	attrs  map[string]string
@@ -188,9 +207,17 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	parentID, base := "", ""
+	traceID, remoteParent := t.traceID, ""
 	if p := Current(ctx); p != nil {
 		parentID = p.id
 		base = p.path + "/"
+		if p.traceID != "" {
+			traceID = p.traceID
+		}
+	} else if tc, ok := RemoteFromContext(ctx); ok && tc.Valid() {
+		// No local parent but a remote caller: join the caller's trace.
+		traceID = tc.TraceID
+		remoteParent = tc.ParentID
 	}
 	t.mu.Lock()
 	key := parentID + "\x00" + name
@@ -205,13 +232,15 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		id = fmt.Sprintf("%s#%d", id, n+1)
 	}
 	s := &Span{
-		tracer: t,
-		id:     id,
-		parent: parentID,
-		name:   name,
-		path:   base + name,
-		start:  t.clock.Now(),
-		attrs:  map[string]string{},
+		tracer:       t,
+		id:           id,
+		parent:       parentID,
+		name:         name,
+		path:         base + name,
+		start:        t.clock.Now(),
+		traceID:      traceID,
+		remoteParent: remoteParent,
+		attrs:        map[string]string{},
 	}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
@@ -222,6 +251,23 @@ func (s *Span) ID() string {
 		return ""
 	}
 	return s.id
+}
+
+// TraceID returns the trace the span belongs to ("" for a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// ContextID returns the span's wire-level 16-hex ID — what a remote
+// callee records as its remote parent; "" for a nil span.
+func (s *Span) ContextID() string {
+	if s == nil {
+		return ""
+	}
+	return SpanContextID(s.traceID, s.id)
 }
 
 // Path returns the slash-joined region path (shared by repeated
@@ -328,15 +374,21 @@ func (s *Span) Duration() time.Duration {
 // seconds relative to the trace epoch so exports are portable across
 // clock choices.
 type SpanRecord struct {
-	ID     string            `json:"id"`
-	Parent string            `json:"parent,omitempty"`
-	Name   string            `json:"name"`
-	Path   string            `json:"path"`
-	StartS float64           `json:"start_s"`
-	DurS   float64           `json:"dur_s"`
-	Error  string            `json:"error,omitempty"`
-	Attrs  map[string]string `json:"attrs,omitempty"`
-	Events []EventRecord     `json:"events,omitempty"`
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"`
+	// TraceID is the cross-process trace this span belongs to;
+	// RemoteParent, when set, is the wire-level span ID of the remote
+	// caller this span joined (see SpanContextID). Together they let
+	// MergeTraces reassemble one trace from per-process snapshots.
+	TraceID      string            `json:"trace_id,omitempty"`
+	RemoteParent string            `json:"remote_parent,omitempty"`
+	Name         string            `json:"name"`
+	Path         string            `json:"path"`
+	StartS       float64           `json:"start_s"`
+	DurS         float64           `json:"dur_s"`
+	Error        string            `json:"error,omitempty"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	Events       []EventRecord     `json:"events,omitempty"`
 }
 
 // EventRecord is one span event in a snapshot.
@@ -372,13 +424,15 @@ func (t *Tracer) Snapshot() *Trace {
 	for _, s := range spans {
 		s.mu.Lock()
 		rec := SpanRecord{
-			ID:     s.id,
-			Parent: s.parent,
-			Name:   s.name,
-			Path:   s.path,
-			StartS: s.start.Sub(t.epoch).Seconds(),
-			DurS:   s.end.Sub(s.start).Seconds(),
-			Error:  s.errMsg,
+			ID:           s.id,
+			Parent:       s.parent,
+			TraceID:      s.traceID,
+			RemoteParent: s.remoteParent,
+			Name:         s.name,
+			Path:         s.path,
+			StartS:       s.start.Sub(t.epoch).Seconds(),
+			DurS:         s.end.Sub(s.start).Seconds(),
+			Error:        s.errMsg,
 		}
 		if len(s.attrs) > 0 {
 			rec.Attrs = make(map[string]string, len(s.attrs))

@@ -7,7 +7,9 @@
 # built on it, the parallel installer, the concurrency-safe build
 # cache, the telemetry layer (spans and metrics are recorded from the
 # engine's worker pool), the durable result store and its HTTP service
-# (concurrent ingest against the WAL), the content-addressed cache
+# (concurrent ingest against the WAL, trace-context joins, the ops
+# plane and selfmonitor loop), the CI pipeline and metrics database
+# the traced push path flows through, the content-addressed cache
 # store (concurrent same-key writers), benchlint's concurrent
 # package loader, and the benchlint CLI whose tests drive that loader
 # end to end. A -diff dry-run also fails the gate when mechanical
@@ -18,7 +20,9 @@
 # so the floor is zero), the cache-soundness tier (purity, maporder,
 # keycover) gets an explicit pass over the whole module with the
 # incremental cache on, and the SARIF emission is smoke-checked by
-# scripts/sarifsmoke before CI ever depends on it.
+# scripts/sarifsmoke before CI ever depends on it. The ops plane is
+# smoke-checked by scripts/opssmoke, which starts the real binary and
+# scrapes /healthz, /readyz, /metrics, /debug/ops, and /debug/pprof.
 #
 # Finally, the incremental re-run gate runs the example suite twice
 # over a shared --cache-dir: the second run must be 100% run-layer
@@ -58,7 +62,10 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/cachekey ./internal/telemetry ./internal/analysis ./internal/resultstore ./internal/resultsd ./cmd/benchlint
+go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/cachekey ./internal/telemetry ./internal/analysis ./internal/resultstore ./internal/resultsd ./internal/ci ./internal/metricsdb ./cmd/benchlint
+
+echo "==> ops-plane smoke (serve --metrics --pprof, scrape every operations endpoint)"
+go run ./scripts/opssmoke
 
 echo "==> incremental re-run gate (second run over a shared cache must replay everything)"
 cache_tmp=$(mktemp -d)
