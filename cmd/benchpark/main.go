@@ -17,6 +17,7 @@
 //	benchpark serve               serve the results federation API
 //	benchpark push                run a suite and push results to a server
 //	benchpark history             query a server for a FOM's history
+//	benchpark loadtest            simulate a federated runner fleet
 package main
 
 import (
@@ -271,6 +272,8 @@ func run(rawArgs []string) error {
 		return pushCmd(args[1:], &opts)
 	case "history":
 		return historyCmd(args[1:], &opts)
+	case "loadtest":
+		return loadtestCmd(args[1:], &opts)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -294,15 +297,24 @@ func usage() {
   benchpark provision <name> <instance-type> <nodes> [suite]
   benchpark report [out.md] [-full]
   benchpark serve [--addr A] [--data DIR] [--metrics] [--pprof]
-            [--selfmonitor DUR]        run the results federation service;
+            [--selfmonitor DUR] [--shards N] [--shard-queue N]
+            [--shard-slow DUR] [--replica-of URL] [--sync-interval DUR]
+                                       run the results federation service;
                                        --metrics adds /metrics + /debug/ops,
-                                       --pprof adds /debug/pprof, and
+                                       --pprof adds /debug/pprof,
                                        --selfmonitor samples the service's
-                                       own latency into its store
+                                       own latency into its store,
+                                       --shards N runs a sharded primary
+                                       (bounded queues via --shard-queue),
+                                       --replica-of runs a read-only
+                                       snapshot-shipped follower
   benchpark push <suite> <system> <server-url>
                                        run a suite and push its results
   benchpark history <server-url> <benchmark> <fom> [--system S]
             [--window N] [--threshold T] print a FOM series + regressions
+  benchpark loadtest <server-url> [--runners N] [--batches N]
+            [--results N] [--out FILE] simulate a federated runner fleet
+                                       and report throughput + latency
 
 global flags (accepted anywhere, --flag value or --flag=value):
   --jobs N         engine worker-pool width (default: number of CPUs)

@@ -14,23 +14,42 @@ import (
 	"repro/internal/core"
 	"repro/internal/metricsdb"
 	"repro/internal/resultsd"
+	"repro/internal/resultshard"
 	"repro/internal/resultstore"
 	"repro/internal/telemetry"
 )
 
 // serveCmd implements `benchpark serve [--addr A] [--data DIR]
-// [--metrics] [--pprof] [--selfmonitor DUR]`: open (or create) a
-// durable result store and serve the resultsd federation API over it.
+// [--metrics] [--pprof] [--selfmonitor DUR] [--shards N]
+// [--shard-queue N] [--shard-slow DUR] [--replica-of URL]
+// [--sync-interval DUR]`: run the results federation service in one of
+// three modes.
+//
+//   - Default: one durable resultstore (today's single-node mode).
+//   - --shards N (N > 1): a sharded primary — N independent stores
+//     behind the deterministic (system, benchmark) router, with
+//     bounded ingest queues (--shard-queue) and the /v1/replica
+//     endpoints followers pull from. --shard-slow injects a per-commit
+//     delay for fault-injection drills.
+//   - --replica-of URL: a read-only follower replica of a sharded
+//     primary, serving /v1/series, /v1/regressions and /v1/systems
+//     from a snapshot-shipped mirror refreshed every --sync-interval.
+//
 // --metrics adds the /metrics and /debug/ops operations endpoints,
 // --pprof the /debug/pprof profile handlers, and --selfmonitor starts
 // a loop sampling the service's own request latency into the store
 // through the normal ingest path. The process runs until killed; the
-// store's WAL makes that safe at any instant.
+// stores' WALs make that safe at any instant.
 func serveCmd(args []string, opts *execOpts) error {
 	addr := "127.0.0.1:8321"
 	dataDir := "benchpark-results"
 	withMetrics, withPprof := false, false
 	var selfmonitor time.Duration
+	shards := 0
+	shardQueue := 0
+	var shardSlow time.Duration
+	replicaOf := ""
+	syncInterval := time.Second
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "--addr", "-addr":
@@ -59,15 +78,60 @@ func serveCmd(args []string, opts *execOpts) error {
 			}
 			selfmonitor = d
 			i++
+		case "--shards", "-shards":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--shards needs a count")
+			}
+			n, err := strconv.Atoi(args[i+1])
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad --shards count %q", args[i+1])
+			}
+			shards = n
+			i++
+		case "--shard-queue", "-shard-queue":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--shard-queue needs a depth")
+			}
+			n, err := strconv.Atoi(args[i+1])
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad --shard-queue depth %q", args[i+1])
+			}
+			shardQueue = n
+			i++
+		case "--shard-slow", "-shard-slow":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--shard-slow needs a duration (e.g. 50ms)")
+			}
+			d, err := time.ParseDuration(args[i+1])
+			if err != nil || d <= 0 {
+				return fmt.Errorf("bad --shard-slow duration %q", args[i+1])
+			}
+			shardSlow = d
+			i++
+		case "--replica-of", "-replica-of":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--replica-of needs a primary URL")
+			}
+			replicaOf = args[i+1]
+			i++
+		case "--sync-interval", "-sync-interval":
+			if i+1 >= len(args) {
+				return fmt.Errorf("--sync-interval needs a duration (e.g. 1s)")
+			}
+			d, err := time.ParseDuration(args[i+1])
+			if err != nil || d <= 0 {
+				return fmt.Errorf("bad --sync-interval %q", args[i+1])
+			}
+			syncInterval = d
+			i++
 		default:
 			return fmt.Errorf("serve: unknown argument %q", args[i])
 		}
 	}
-	store, err := resultstore.Open(dataDir, resultstore.Options{})
-	if err != nil {
-		return err
+	if replicaOf != "" && shards > 0 {
+		return fmt.Errorf("serve: --replica-of and --shards are mutually exclusive (a replica mirrors the primary's topology)")
 	}
-	defer store.Close()
+
 	// The server gets its own wall-clock tracer so request metrics
 	// accrue for the life of the process; --trace-out additionally
 	// dumps them when the listener stops.
@@ -79,13 +143,47 @@ func serveCmd(args []string, opts *execOpts) error {
 	if withPprof {
 		sopts = append(sopts, resultsd.WithPprof())
 	}
-	srv := resultsd.New(store, tracer, sopts...)
+
+	var backend resultsd.Backend
+	mode := ""
+	switch {
+	case replicaOf != "":
+		f := resultshard.NewFollower()
+		src := resultsd.NewReplicaClient(replicaOf)
+		fctx, fcancel := context.WithCancel(context.Background())
+		defer fcancel()
+		go resultsd.RunFollower(fctx, f, src, syncInterval, tracer)
+		backend = f
+		mode = fmt.Sprintf("replica of %s (sync every %s)", replicaOf, syncInterval)
+	case shards > 1:
+		router, err := resultshard.Open(dataDir, resultshard.Options{
+			Shards:      shards,
+			QueueDepth:  shardQueue,
+			CommitDelay: shardSlow,
+		})
+		if err != nil {
+			return err
+		}
+		defer router.Close()
+		backend = router
+		mode = fmt.Sprintf("%d shards (data %s)", shards, dataDir)
+	default:
+		store, err := resultstore.Open(dataDir, resultstore.Options{})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		backend = store
+		mode = fmt.Sprintf("single store (data %s)", dataDir)
+	}
+
+	srv := resultsd.New(backend, tracer, sopts...)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("==> resultsd serving %d results on http://%s (data %s)\n",
-		store.Len(), ln.Addr(), dataDir)
+	fmt.Printf("==> resultsd serving %d results on http://%s, %s\n",
+		backend.Len(), ln.Addr(), mode)
 	if withMetrics {
 		fmt.Printf("==> ops plane on http://%s/metrics and /debug/ops\n", ln.Addr())
 	}

@@ -13,7 +13,7 @@ import (
 var Locks = &Analyzer{
 	Name:  "locks",
 	Doc:   "no sync primitives copied by value; every Lock has an Unlock on every return path",
-	Scope: []string{"internal/buildcache", "internal/engine", "internal/resultstore", "internal/resultsd", "internal/analysis", "cmd/benchlint"},
+	Scope: []string{"internal/buildcache", "internal/engine", "internal/resultstore", "internal/resultsd", "internal/analysis", "cmd/benchlint", "internal/resultshard", "internal/loadgen"},
 	Run:   runLocks,
 }
 

@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metricsdb"
+	"repro/internal/resultshard"
+)
+
+// memPusher is an in-process idempotent sink mimicking the resultsd
+// ingest contract (same key → duplicate).
+type memPusher struct {
+	mu   sync.Mutex
+	keys map[string]bool
+	n    int
+}
+
+func (m *memPusher) Push(ctx context.Context, key string, results []metricsdb.Result) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.keys == nil {
+		m.keys = make(map[string]bool)
+	}
+	if m.keys[key] {
+		return true, nil
+	}
+	m.keys[key] = true
+	m.n += len(results)
+	return false, nil
+}
+
+// TestRunDeterministicContent: the same (runner, batch) cell always
+// produces the same key and payload — the property that makes replays
+// exercise the duplicate path.
+func TestRunDeterministicContent(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if k := cfg.Key(17, 3); k != cfg.Key(17, 3) || k != "loadgen-r0017-b0003" {
+		t.Fatalf("Key not deterministic/stable: %q", k)
+	}
+	a, b := cfg.Batch(17, 3), cfg.Batch(17, 3)
+	if len(a) != cfg.ResultsPerBatch {
+		t.Fatalf("batch has %d results, want %d", len(a), cfg.ResultsPerBatch)
+	}
+	for i := range a {
+		if a[i].System != b[i].System || a[i].Benchmark != b[i].Benchmark ||
+			a[i].FOMs["figure_of_merit"] != b[i].FOMs["figure_of_merit"] {
+			t.Fatalf("batch content not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunFleet: a full campaign lands every batch exactly once and the
+// report's accounting is exact.
+func TestRunFleet(t *testing.T) {
+	cfg := Config{Runners: 20, BatchesPerRunner: 5, ResultsPerBatch: 3}
+	sink := &memPusher{}
+	rep, err := Run(context.Background(), cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BatchesPushed != 100 || rep.Duplicates != 0 || rep.Errors != 0 || rep.Overloads != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.ResultsPushed != 300 || sink.n != 300 {
+		t.Fatalf("results: report %d, sink %d, want 300", rep.ResultsPushed, sink.n)
+	}
+	if rep.BatchesPerSecond <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Fatalf("throughput/percentiles wrong: %+v", rep)
+	}
+
+	// Replay: every key is now a duplicate, nothing double-counts.
+	rep2, err := Run(context.Background(), cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Duplicates != 100 || sink.n != 300 {
+		t.Fatalf("replay: %d duplicates (want 100), sink %d (want 300)", rep2.Duplicates, sink.n)
+	}
+}
+
+// TestRunCountsOverloadsAndErrors: backpressure and hard failures land
+// in separate columns.
+func TestRunCountsOverloadsAndErrors(t *testing.T) {
+	var calls int
+	var mu sync.Mutex
+	p := PushFunc(func(ctx context.Context, key string, results []metricsdb.Result) (bool, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		switch calls % 3 {
+		case 0:
+			return false, &resultshard.OverloadError{Shard: 1, RetryAfter: time.Second}
+		case 1:
+			return false, errors.New("boom")
+		}
+		return false, nil
+	})
+	rep, err := Run(context.Background(), Config{Runners: 3, BatchesPerRunner: 4, ResultsPerBatch: 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overloads != 4 || rep.Errors != 4 || rep.BatchesPushed != 4 {
+		t.Fatalf("taxonomy wrong: %+v", rep)
+	}
+	if rep.FirstError != "boom" {
+		t.Fatalf("first error %q", rep.FirstError)
+	}
+}
+
+// TestRunHonorsCancel: a cancelled context stops the fleet promptly
+// and surfaces the cancellation.
+func TestRunHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := PushFunc(func(ctx context.Context, key string, results []metricsdb.Result) (bool, error) {
+		cancel()
+		return false, nil
+	})
+	rep, err := Run(ctx, Config{Runners: 2, BatchesPerRunner: 1000, ResultsPerBatch: 1}, p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.BatchesPushed >= 2000 {
+		t.Fatalf("fleet did not stop early: %+v", rep)
+	}
+}
+
+// TestPercentileMs pins the nearest-rank arithmetic.
+func TestPercentileMs(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0.50, 50}, {0.90, 90}, {0.99, 99}}
+	for _, c := range cases {
+		if got := percentileMs(ds, c.q); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentileMs(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}

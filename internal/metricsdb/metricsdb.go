@@ -116,6 +116,32 @@ func (db *DB) Query(f Filter) []Result {
 	return out
 }
 
+// QueryAfter returns every result with Seq strictly greater than seq,
+// in sequence order. It is the replication delta primitive: a follower
+// that has applied everything up to watermark W fetches QueryAfter(W)
+// and is caught up (see internal/resultshard).
+func (db *DB) QueryAfter(seq int) []Result {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Result
+	for _, r := range db.results {
+		if r.Seq > seq {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// MaxSeq reports the highest assigned sequence number (0 when empty).
+// It is the replication watermark: a follower whose MaxSeq matches the
+// primary's holds the identical result set.
+func (db *DB) MaxSeq() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.nextSeq
+}
+
 // Point is one (sequence, value) sample of a FOM series, tagged with
 // the trace ID of the run that produced it (empty for results pushed
 // without trace context).
@@ -164,7 +190,16 @@ type Regression struct {
 // noise). Baselines of exactly 0 are skipped (the ratio is
 // undefined).
 func (db *DB) DetectRegressions(f Filter, fom string, window int, threshold float64) []Regression {
-	series := db.Series(f, fom)
+	return DetectInSeries(db.Series(f, fom), window, threshold)
+}
+
+// DetectInSeries runs the rolling-median regression scan over an
+// already-extracted series. It is the detection kernel behind
+// DB.DetectRegressions, exported so layers that merge series from
+// several databases (the sharded router and its read replicas in
+// internal/resultshard) apply the exact same semantics to the merged
+// stream.
+func DetectInSeries(series []Point, window int, threshold float64) []Regression {
 	if window < 2 || len(series) < window+1 {
 		return nil
 	}

@@ -1,0 +1,118 @@
+package resultsd
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/metricsdb"
+)
+
+// benchIngestRequest is a realistic federated push: 100 results across
+// several (system, benchmark) pairs, with FOMs and provenance.
+func benchIngestRequest() IngestRequest {
+	rs := make([]metricsdb.Result, 100)
+	for i := range rs {
+		rs[i] = metricsdb.Result{
+			Benchmark:  fmt.Sprintf("bench-%02d", i%7),
+			Workload:   "standard",
+			System:     fmt.Sprintf("sys-%02d", i%5),
+			Experiment: fmt.Sprintf("exp-%03d", i),
+			FOMs:       map[string]float64{"figure_of_merit": float64(i) * 1.5},
+			TraceID:    "0123456789abcdef0123456789abcdef",
+		}
+	}
+	return IngestRequest{IngestKey: "bench-key", Results: rs}
+}
+
+// BenchmarkIngestEncode measures marshalling a 100-result batch — the
+// client-side CPU cost of one push.
+func BenchmarkIngestEncode(b *testing.B) {
+	req := benchIngestRequest()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestEncodeGzip adds the client's gzip pass (what every
+// >=1KiB push pays, and what the wire saves ~10x on).
+func BenchmarkIngestEncodeGzip(b *testing.B) {
+	req := benchIngestRequest()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestDecode measures the server-side decode of a plain
+// batch body.
+func BenchmarkIngestDecode(b *testing.B) {
+	payload, err := json.Marshal(benchIngestRequest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var req IngestRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestDecodeGzip measures the server-side gunzip + decode
+// path a compressed push takes through handleIngest's reader stack.
+func BenchmarkIngestDecodeGzip(b *testing.B) {
+	payload, err := json.Marshal(benchIngestRequest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(payload); err != nil {
+		b.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	compressed := buf.Bytes()
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zr, err := gzip.NewReader(bytes.NewReader(compressed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(zr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var req IngestRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

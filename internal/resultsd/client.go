@@ -2,11 +2,13 @@ package resultsd
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -14,15 +16,23 @@ import (
 	"time"
 
 	"repro/internal/metricsdb"
+	"repro/internal/resultshard"
 	"repro/internal/telemetry"
 )
 
 // Client is a typed client for the resultsd API with context-aware
-// retries. Transport failures and 5xx responses retry with
-// exponential backoff (cancelled promptly by the context); 4xx
-// responses are terminal. Retrying POST /v1/results is safe because
-// ingest is idempotent under the batch's ingest key — the worst case
-// of a retry racing a slow first attempt is a Duplicate ack.
+// retries. Transport failures, 5xx responses and 429 overload
+// responses retry with jittered exponential backoff (cancelled
+// promptly by the context); other 4xx responses are terminal.
+// Retrying POST /v1/results is safe because ingest is idempotent
+// under the batch's ingest key — the worst case of a retry racing a
+// slow first attempt is a Duplicate ack.
+//
+// Backpressure: a 429 from an overloaded shard carries a Retry-After
+// header; the client waits (at least) that long before the next
+// attempt and, when retries are exhausted, returns an error matching
+// resultshard.ErrOverloaded so callers can distinguish "server shed
+// load" from "server broken".
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8321".
 	BaseURL string
@@ -34,12 +44,39 @@ type Client struct {
 	// RetryBackoff is the first retry delay, doubling per attempt;
 	// <=0 means 50ms.
 	RetryBackoff time.Duration
+	// Jitter scales each computed retry delay. nil means FullJitter —
+	// uniform in [d/2, 3d/2) — which is what keeps thousands of
+	// federated runners from retrying in lockstep after a shared
+	// overload. Tests (and anything needing byte-identical merged
+	// traces) inject NoJitter so retry timing carries no wall-clock
+	// randomness.
+	Jitter func(time.Duration) time.Duration
+	// DisableCompression turns off gzip encoding of push bodies
+	// (bodies below gzipMinBytes are never compressed).
+	DisableCompression bool
 }
 
 // NewClient returns a client with the default retry policy.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL, MaxRetries: 3}
 }
+
+// NoJitter is the deterministic jitter policy: the computed backoff is
+// used exactly. Inject it wherever retry timing must be reproducible.
+func NoJitter(d time.Duration) time.Duration { return d }
+
+// FullJitter is the default policy: uniform in [d/2, 3d/2), so
+// synchronized retries de-correlate while the mean delay stays d.
+func FullJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// gzipMinBytes is the payload size below which compression costs more
+// than it saves.
+const gzipMinBytes = 1 << 10
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
@@ -69,6 +106,18 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		payload, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("resultsd: encoding request: %w", err)
+		}
+	}
+	// Compress once, outside the retry loop, so every attempt reuses
+	// the same bytes. Federated batches are redundant JSON; gzip
+	// typically shrinks them ~10x, which is most of the ingest
+	// bandwidth at fleet scale.
+	encoding := ""
+	if len(payload) >= gzipMinBytes && !c.DisableCompression {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(payload); err == nil && zw.Close() == nil {
+			payload, encoding = buf.Bytes(), "gzip"
 		}
 	}
 	u := strings.TrimSuffix(c.BaseURL, "/") + path
@@ -105,7 +154,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			return fmt.Errorf("resultsd: %w", cerr)
 		}
 		attempts++
-		aerr := c.once(ctx, method, u, traceparent, payload, out)
+		aerr := c.once(ctx, method, u, traceparent, encoding, payload, out)
 		if aerr == nil {
 			return nil
 		}
@@ -114,7 +163,15 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 			return fmt.Errorf("resultsd: %s %s: %w", method, path, aerr)
 		}
 		lastErr = aerr
-		timer := time.NewTimer(backoff)
+		// An overloaded server's Retry-After hint floors the delay;
+		// jitter then de-correlates the fleet's retries.
+		delay := backoff
+		var ov *resultshard.OverloadError
+		if errors.As(aerr, &ov) && ov.RetryAfter > delay {
+			delay = ov.RetryAfter
+		}
+		delay = c.jitter(delay)
+		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
 			timer.Stop()
@@ -125,9 +182,18 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	}
 }
 
-// once performs a single HTTP attempt. traceparent comes from do so
-// retried attempts share one trace context.
-func (c *Client) once(ctx context.Context, method, u, traceparent string, payload []byte, out any) error {
+// jitter applies the client's jitter policy (FullJitter by default).
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if c.Jitter != nil {
+		return c.Jitter(d)
+	}
+	return FullJitter(d)
+}
+
+// once performs a single HTTP attempt. traceparent and the (possibly
+// gzip-encoded) payload come from do so retried attempts share one
+// trace context and one set of bytes.
+func (c *Client) once(ctx context.Context, method, u, traceparent, encoding string, payload []byte, out any) error {
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)
@@ -138,6 +204,9 @@ func (c *Client) once(ctx context.Context, method, u, traceparent string, payloa
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
 	}
 	if traceparent != "" {
 		req.Header.Set(telemetry.TraceparentHeader, traceparent)
@@ -150,6 +219,16 @@ func (c *Client) once(ctx context.Context, method, u, traceparent string, payloa
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxIngestBytes))
 	if err != nil {
 		return &retryableError{err: err}
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Server-side backpressure: reconstruct the typed overload so
+		// callers (and the retry loop above) see the Retry-After hint
+		// and errors.Is(err, resultshard.ErrOverloaded) holds.
+		retryAfter := time.Second
+		if v, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && v > 0 {
+			retryAfter = time.Duration(v) * time.Second
+		}
+		return &retryableError{err: &resultshard.OverloadError{Shard: -1, RetryAfter: retryAfter}}
 	}
 	if resp.StatusCode >= 500 {
 		return &retryableError{err: fmt.Errorf("server error %d: %s", resp.StatusCode, apiErrorText(data))}

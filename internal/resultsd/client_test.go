@@ -16,6 +16,7 @@ import (
 func fastClient(baseURL string) *Client {
 	c := NewClient(baseURL)
 	c.RetryBackoff = time.Millisecond
+	c.Jitter = NoJitter
 	return c
 }
 

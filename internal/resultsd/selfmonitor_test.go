@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/metricsdb"
+	"repro/internal/resultstore"
 )
 
 // TestSelfMonitorGatesServiceLatency closes the loop the ISSUE calls
@@ -91,7 +92,7 @@ func TestSelfMonitorKeysAreIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := "selfmonitor-cts1-" + srv.Tracer().TraceID() + "-1"
-	if !srv.store.HasKey(key) {
+	if !srv.store.(*resultstore.Store).HasKey(key) {
 		t.Fatalf("store lacks the expected selfmonitor key %q", key)
 	}
 	resp, err := c.Push(context.Background(), key, []metricsdb.Result{result("resultsd", "cts1", "x", 1)})

@@ -37,25 +37,60 @@
 package resultsd
 
 import (
+	"compress/gzip"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"sync/atomic"
 
 	"repro/internal/metricsdb"
+	"repro/internal/resultshard"
 	"repro/internal/resultstore"
 	"repro/internal/telemetry"
 )
 
-// maxIngestBytes bounds a POST /v1/results body.
+// maxIngestBytes bounds a POST /v1/results body (after decompression
+// for gzip-encoded pushes).
 const maxIngestBytes = 8 << 20
+
+// Backend is the storage a Server serves. Three implementations share
+// it: the single-node *resultstore.Store (today's mode), the sharded
+// *resultshard.Router (serve --shards N), and the read-only
+// *resultshard.Follower replica (serve --replica-of URL), so every
+// route — including the trace-context join on ingest — works
+// identically across all three.
+type Backend interface {
+	Append(ctx context.Context, b resultstore.Batch) (bool, error)
+	Series(f metricsdb.Filter, fom string) []metricsdb.Point
+	DetectRegressions(f metricsdb.Filter, fom string, window int, threshold float64) []metricsdb.Regression
+	Systems() []string
+	Health() resultstore.Health
+	Len() int
+}
+
+// replicaSource is the optional backend surface that makes a server a
+// replication primary: when the backend provides it (the sharded
+// router does), the /v1/replica/meta and /v1/replica/delta routes are
+// registered for followers to pull from.
+type replicaSource interface {
+	ReplicaMeta() resultshard.ReplicaMeta
+	ReplicaDelta(shard, afterSeq int) (resultshard.ReplicaDelta, error)
+}
+
+// replicaStatus is the optional backend surface of a follower: when
+// present, /v1/replica/status reports the replica's lag.
+type replicaStatus interface {
+	Status() resultshard.FollowerStatus
+}
 
 // Server serves the federation API over a store.
 type Server struct {
-	store  *resultstore.Store
+	store  Backend
 	tracer *telemetry.Tracer
 	mux    *http.ServeMux
 
@@ -91,10 +126,14 @@ func WithOps() Option { return func(c *serverConfig) { c.ops = true } }
 // are a deliberate opt-in (`benchpark serve --pprof`).
 func WithPprof() Option { return func(c *serverConfig) { c.pprof = true } }
 
-// New returns a server over the store. tracer may be nil (requests
+// New returns a server over the store — a single-node Store, a
+// sharded Router, or a read-only Follower. tracer may be nil (requests
 // then run uninstrumented); with a tracer, every request records a
-// span and per-route metrics into it.
-func New(store *resultstore.Store, tracer *telemetry.Tracer, opts ...Option) *Server {
+// span and per-route metrics into it. A backend that implements the
+// replica-source surface additionally gets the /v1/replica/meta and
+// /v1/replica/delta pull endpoints; a follower backend gets
+// /v1/replica/status.
+func New(store Backend, tracer *telemetry.Tracer, opts ...Option) *Server {
 	var cfg serverConfig
 	for _, o := range opts {
 		o(&cfg)
@@ -104,6 +143,13 @@ func New(store *resultstore.Store, tracer *telemetry.Tracer, opts ...Option) *Se
 	s.mux.HandleFunc("GET /v1/series", s.instrument("series", s.handleSeries))
 	s.mux.HandleFunc("GET /v1/regressions", s.instrument("regressions", s.handleRegressions))
 	s.mux.HandleFunc("GET /v1/systems", s.instrument("systems", s.handleSystems))
+	if src, ok := store.(replicaSource); ok {
+		s.mux.HandleFunc("GET /v1/replica/meta", s.instrument("replica_meta", s.handleReplicaMeta(src)))
+		s.mux.HandleFunc("GET /v1/replica/delta", s.instrument("replica_delta", s.handleReplicaDelta(src)))
+	}
+	if fs, ok := store.(replicaStatus); ok {
+		s.mux.HandleFunc("GET /v1/replica/status", s.instrument("replica_status", s.handleReplicaStatus(fs)))
+	}
 	// The ops plane stays outside instrument() so scrapes and probes
 	// don't pollute the request metrics they report.
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -219,8 +265,21 @@ type IngestResponse struct {
 }
 
 func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	// Compressed pushes (Content-Encoding: gzip) are the norm for
+	// federated runners — a results batch is highly redundant JSON.
+	// The byte bound applies to the DECOMPRESSED stream, so a gzip
+	// bomb cannot smuggle an oversized batch past MaxBytesReader.
+	var body io.Reader = http.MaxBytesReader(w, r.Body, maxIngestBytes)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			return fail(w, http.StatusBadRequest, fmt.Errorf("decoding gzip body: %w", err))
+		}
+		defer zr.Close()
+		body = io.LimitReader(zr, maxIngestBytes)
+	}
 	var req IngestRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	dec := json.NewDecoder(body)
 	if err := dec.Decode(&req); err != nil {
 		return fail(w, http.StatusBadRequest, fmt.Errorf("decoding ingest body: %w", err))
 	}
@@ -247,6 +306,19 @@ func (s *Server) handleIngest(ctx context.Context, w http.ResponseWriter, r *htt
 		Results: req.Results,
 	})
 	if err != nil {
+		// Backpressure contract: an overloaded shard answers 429 with a
+		// Retry-After hint; the retrying client honours it. Retrying is
+		// safe — whatever partially applied dedups under the ingest key.
+		var ov *resultshard.OverloadError
+		if errors.As(err, &ov) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(ov.RetryAfter)))
+			return fail(w, http.StatusTooManyRequests, err)
+		}
+		// A replica refuses writes terminally: clients must not retry
+		// against a follower, so this is a 403, not a 5xx.
+		if errors.Is(err, resultshard.ErrReadOnly) {
+			return fail(w, http.StatusForbidden, err)
+		}
 		return fail(w, http.StatusInternalServerError, err)
 	}
 	s.ingestBatches.Add(1)

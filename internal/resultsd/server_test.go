@@ -187,8 +187,8 @@ func TestQueryValidation(t *testing.T) {
 	srv, _ := newTestServer(t)
 	h := srv.Handler()
 	for _, url := range []string{
-		"/v1/series",                  // missing fom
-		"/v1/regressions",             // missing fom
+		"/v1/series",      // missing fom
+		"/v1/regressions", // missing fom
 		"/v1/regressions?fom=t&window=1",
 		"/v1/regressions?fom=t&window=x",
 		"/v1/regressions?fom=t&threshold=0",

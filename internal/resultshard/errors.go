@@ -1,0 +1,44 @@
+package resultshard
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOverloaded is the sentinel every overload failure matches via
+// errors.Is. It is the backpressure half of the ingest contract: when
+// a shard's bounded queue is full the router refuses the batch
+// immediately — it never queues unboundedly and never blocks the
+// caller behind a wedged disk — and the caller is expected to retry
+// after the OverloadError's RetryAfter hint. resultsd maps this error
+// to HTTP 429 with a Retry-After header, and the retrying client maps
+// the 429 back to an OverloadError and honours the hint.
+var ErrOverloaded = errors.New("resultshard: shard ingest queue full")
+
+// ErrReadOnly is returned by a Follower's Append: replicas serve
+// reads; writes belong to the primary. resultsd maps it to HTTP 403 so
+// clients fail fast instead of retrying against a replica.
+var ErrReadOnly = errors.New("resultshard: read-only replica")
+
+// OverloadError carries the backpressure details of a refused ingest.
+// It matches ErrOverloaded under errors.Is.
+type OverloadError struct {
+	// Shard is the first overloaded shard (-1 when the error was
+	// reconstructed client-side from an HTTP 429).
+	Shard int
+	// RetryAfter is the suggested wait before retrying. Retrying the
+	// whole batch under the same ingest key is always safe: sub-batches
+	// that did land dedup per shard.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	if e.Shard < 0 {
+		return fmt.Sprintf("resultshard: overloaded (retry after %s)", e.RetryAfter)
+	}
+	return fmt.Sprintf("resultshard: shard %d ingest queue full (retry after %s)", e.Shard, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for OverloadErrors.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }

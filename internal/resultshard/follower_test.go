@@ -1,0 +1,216 @@
+package resultshard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/metricsdb"
+	"repro/internal/resultstore"
+)
+
+// localSource adapts a Router to the follower's Source interface
+// without HTTP — the protocol-level tests; the HTTP transport is
+// covered in internal/resultsd.
+type localSource struct{ r *Router }
+
+func (s localSource) ReplicaMeta(ctx context.Context) (ReplicaMeta, error) {
+	return s.r.ReplicaMeta(), nil
+}
+
+func (s localSource) ReplicaDelta(ctx context.Context, shard, afterSeq int) (ReplicaDelta, error) {
+	return s.r.ReplicaDelta(shard, afterSeq)
+}
+
+// TestFollowerBootstrapAndByteIdenticalReads: one Sync bootstraps an
+// empty follower from watermark 0, after which every read API returns
+// byte-identical responses to the primary's.
+func TestFollowerBootstrapAndByteIdenticalReads(t *testing.T) {
+	r := openRouter(t, t.TempDir(), 4)
+	defer r.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := r.Append(context.Background(), resultstore.Batch{
+			Key:     fmt.Sprintf("k%d", i),
+			TraceID: fmt.Sprintf("%032x", i+1),
+			Results: spreadResults(10),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f := NewFollower()
+	if f.Health().Ready {
+		t.Fatal("unsynced follower claims ready")
+	}
+	lag, err := f.Sync(context.Background(), localSource{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 0 {
+		t.Fatalf("post-bootstrap lag = %d, want 0", lag)
+	}
+	if !f.Health().Ready {
+		t.Fatal("synced follower not ready")
+	}
+	if f.Len() != r.Len() {
+		t.Fatalf("follower holds %d results, primary %d", f.Len(), r.Len())
+	}
+
+	// Byte-for-byte equality across the whole read surface, both
+	// fanned-out and single-shard-routed filters.
+	filters := []metricsdb.Filter{
+		{},
+		{System: "sys-01"},
+		{System: "sys-01", Benchmark: "bench-01"},
+	}
+	for _, flt := range filters {
+		pq, _ := json.Marshal(r.Query(flt))
+		fq, _ := json.Marshal(f.Query(flt))
+		if string(pq) != string(fq) {
+			t.Fatalf("Query(%+v) differs:\nprimary:  %s\nfollower: %s", flt, pq, fq)
+		}
+		ps, _ := json.Marshal(r.Series(flt, "fom"))
+		fs, _ := json.Marshal(f.Series(flt, "fom"))
+		if string(ps) != string(fs) {
+			t.Fatalf("Series(%+v) differs", flt)
+		}
+		pr, _ := json.Marshal(r.DetectRegressions(flt, "fom", 3, 1.2))
+		fr, _ := json.Marshal(f.DetectRegressions(flt, "fom", 3, 1.2))
+		if string(pr) != string(fr) {
+			t.Fatalf("DetectRegressions(%+v) differs", flt)
+		}
+	}
+	psys, _ := json.Marshal(r.Systems())
+	fsys, _ := json.Marshal(f.Systems())
+	if string(psys) != string(fsys) {
+		t.Fatalf("Systems differ: %s vs %s", psys, fsys)
+	}
+}
+
+// TestFollowerCatchUpAndLag: a follower that synced once catches up
+// incrementally as the primary keeps ingesting, and Status reports the
+// interim lag.
+func TestFollowerCatchUpAndLag(t *testing.T) {
+	r := openRouter(t, t.TempDir(), 2)
+	defer r.Close()
+	if _, err := r.Append(context.Background(), resultstore.Batch{Key: "k0", Results: spreadResults(6)}); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFollower()
+	if _, err := f.Sync(context.Background(), localSource{r}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 6 {
+		t.Fatalf("follower Len = %d, want 6", f.Len())
+	}
+
+	// Primary moves ahead; the follower is now behind until it syncs.
+	if _, err := r.Append(context.Background(), resultstore.Batch{Key: "k1", Results: spreadResults(8)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Sync(context.Background(), localSource{r}); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Status()
+	if !st.Synced || st.Syncs != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.LagResults != 0 {
+		t.Fatalf("post-sync lag = %d, want 0", st.LagResults)
+	}
+	if f.Len() != 14 {
+		t.Fatalf("caught-up follower Len = %d, want 14", f.Len())
+	}
+	// The mirrored stream is still byte-identical after the
+	// incremental delta (not just after a clean bootstrap).
+	pq, _ := json.Marshal(r.Query(metricsdb.Filter{}))
+	fq, _ := json.Marshal(f.Query(metricsdb.Filter{}))
+	if string(pq) != string(fq) {
+		t.Fatal("incremental catch-up diverged from primary")
+	}
+}
+
+// TestFollowerIsReadOnly: Append on a replica fails with ErrReadOnly.
+func TestFollowerIsReadOnly(t *testing.T) {
+	f := NewFollower()
+	_, err := f.Append(context.Background(), resultstore.Batch{
+		Key: "k", Results: []metricsdb.Result{res("b", "s", "fom", 1)},
+	})
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica Append: %v, want ErrReadOnly", err)
+	}
+}
+
+// TestFollowerRejectsForeignSchema: schema and topology mismatches are
+// hard errors, not silent corruption.
+func TestFollowerRejectsForeignSchema(t *testing.T) {
+	r := openRouter(t, t.TempDir(), 2)
+	defer r.Close()
+	f := NewFollower()
+
+	badSchema := sourceFunc{
+		meta: func() (ReplicaMeta, error) {
+			return ReplicaMeta{Schema: "benchpark-replica-99", KeySchema: KeySchema, Shards: 2}, nil
+		},
+		delta: func(shard, after int) (ReplicaDelta, error) { return r.ReplicaDelta(shard, after) },
+	}
+	if _, err := f.Sync(context.Background(), badSchema); err == nil {
+		t.Fatal("foreign replica schema accepted")
+	}
+	if st := f.Status(); st.LastError == "" {
+		t.Fatal("sync failure not recorded in status")
+	}
+
+	// Bootstrap against the real 2-shard primary, then present a
+	// resharded topology: the follower must refuse, instructing a
+	// re-bootstrap.
+	if _, err := f.Sync(context.Background(), localSource{r}); err != nil {
+		t.Fatal(err)
+	}
+	resharded := sourceFunc{
+		meta: func() (ReplicaMeta, error) {
+			return ReplicaMeta{Schema: ReplicaSchema, KeySchema: KeySchema, Shards: 4}, nil
+		},
+		delta: func(shard, after int) (ReplicaDelta, error) { return r.ReplicaDelta(shard, after) },
+	}
+	if _, err := f.Sync(context.Background(), resharded); err == nil {
+		t.Fatal("resharded primary accepted without re-bootstrap")
+	}
+}
+
+// sourceFunc builds ad-hoc Sources for failure-path tests.
+type sourceFunc struct {
+	meta  func() (ReplicaMeta, error)
+	delta func(shard, after int) (ReplicaDelta, error)
+}
+
+func (s sourceFunc) ReplicaMeta(ctx context.Context) (ReplicaMeta, error) { return s.meta() }
+func (s sourceFunc) ReplicaDelta(ctx context.Context, shard, after int) (ReplicaDelta, error) {
+	return s.delta(shard, after)
+}
+
+// TestFollowerRestartRebootstraps: a fresh follower (the restart
+// model: replicas keep no durable state) re-pulls everything from
+// watermark 0 and converges to the same bytes.
+func TestFollowerRestartRebootstraps(t *testing.T) {
+	r := openRouter(t, t.TempDir(), 3)
+	defer r.Close()
+	if _, err := r.Append(context.Background(), resultstore.Batch{Key: "k", Results: spreadResults(12)}); err != nil {
+		t.Fatal(err)
+	}
+	f1 := NewFollower()
+	if _, err := f1.Sync(context.Background(), localSource{r}); err != nil {
+		t.Fatal(err)
+	}
+	f2 := NewFollower() // the "restarted" replica
+	if _, err := f2.Sync(context.Background(), localSource{r}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(f1.Query(metricsdb.Filter{}))
+	b, _ := json.Marshal(f2.Query(metricsdb.Filter{}))
+	if string(a) != string(b) {
+		t.Fatal("re-bootstrapped follower diverged")
+	}
+}

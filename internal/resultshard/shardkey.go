@@ -1,0 +1,46 @@
+package resultshard
+
+// KeySchema names the shard-key function. The (system, benchmark) →
+// shard mapping is part of the on-disk contract: every shard owns the
+// keys that hash to it, so changing the hash (or the separator, or the
+// modulus rule) strands previously-ingested dedup keys on the wrong
+// shard and silently re-partitions reads. Any change to ShardKey MUST
+// bump this schema string, which is pinned into the router manifest at
+// Open and into the table-driven stability test — rebalancing is a
+// deliberate schema migration, never an accident.
+const KeySchema = "benchpark-shardkey-1"
+
+// FNV-1a 64 parameters (FIPS-discussed public-domain constants). The
+// hash is computed inline rather than through hash/fnv: the stdlib
+// constructor returns an interface whose Write both allocates per key
+// and reads as an io write on the hot routing path.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// ShardKey hashes a result's routing key. FNV-1a 64 over
+// system + NUL + benchmark: stable across processes, architectures and
+// Go releases (unlike maphash), with the NUL separator preventing
+// ("ab","c") / ("a","bc") collisions.
+func ShardKey(system, benchmark string) uint64 {
+	h := fnvOffset64
+	for i := 0; i < len(system); i++ {
+		h ^= uint64(system[i])
+		h *= fnvPrime64
+	}
+	h *= fnvPrime64 // NUL separator: h ^= 0 is a no-op
+	for i := 0; i < len(benchmark); i++ {
+		h ^= uint64(benchmark[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// ShardFor maps a routing key onto one of n shards.
+func ShardFor(system, benchmark string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(ShardKey(system, benchmark) % uint64(n))
+}

@@ -1,0 +1,52 @@
+package resultshard
+
+import "testing"
+
+// TestShardKeyStability pins the exact (system, benchmark) → shard
+// mapping for N = 1, 4, 16. These values are part of the on-disk
+// contract (every shard owns the dedup keys that hash to it): if this
+// table ever fails, the shard-key function changed, which strands
+// previously-ingested keys on the wrong shard. That is a deliberate
+// schema migration — bump KeySchema, migrate the data, THEN update
+// this table. Never "fix" the table alone.
+func TestShardKeyStability(t *testing.T) {
+	if KeySchema != "benchpark-shardkey-1" {
+		t.Fatalf("KeySchema = %q; changing it requires a data migration and a new stability table", KeySchema)
+	}
+	cases := []struct {
+		system, benchmark string
+		key               uint64
+		n1, n4, n16       int
+	}{
+		{"tioga", "amg2023", 0x5b6aa4903c18f575, 0, 1, 5},
+		{"tioga", "saxpy", 0x42d56538f0adc430, 0, 0, 0},
+		{"lassen", "amg2023", 0x3247cf567e36b5ed, 0, 1, 13},
+		{"lassen", "gromacs", 0x3aebf4ffc45f5415, 0, 1, 5},
+		{"ruby", "hpcg", 0x47b66cdb278749b1, 0, 1, 1},
+		{"fugaku", "stream", 0xd348885ca7cb1d4, 0, 0, 4},
+		{"", "", 0xaf63bd4c8601b7df, 0, 3, 15},
+		// The NUL separator keeps ("a","bc") and ("ab","c") apart.
+		{"a", "bc", 0xab40f6820d40b523, 0, 3, 3},
+		{"ab", "c", 0xfd61c083ef200867, 0, 3, 7},
+		{"fedsys-000", "fedbench-00", 0x8ae24f76160c99f2, 0, 2, 2},
+	}
+	for _, c := range cases {
+		if got := ShardKey(c.system, c.benchmark); got != c.key {
+			t.Errorf("ShardKey(%q, %q) = %#x, want %#x", c.system, c.benchmark, got, c.key)
+		}
+		for _, nc := range []struct{ n, want int }{{1, c.n1}, {4, c.n4}, {16, c.n16}} {
+			if got := ShardFor(c.system, c.benchmark, nc.n); got != nc.want {
+				t.Errorf("ShardFor(%q, %q, %d) = %d, want %d", c.system, c.benchmark, nc.n, got, nc.want)
+			}
+		}
+	}
+}
+
+// TestShardForDegenerateN: n <= 1 always routes to shard 0.
+func TestShardForDegenerateN(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if got := ShardFor("x", "y", n); got != 0 {
+			t.Errorf("ShardFor(n=%d) = %d, want 0", n, got)
+		}
+	}
+}

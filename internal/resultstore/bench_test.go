@@ -1,0 +1,93 @@
+package resultstore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/metricsdb"
+)
+
+// benchBatch builds one n-result batch with distinct keys per i.
+func benchBatch(i, n int) Batch {
+	rs := make([]metricsdb.Result, n)
+	for j := range rs {
+		rs[j] = res(fmt.Sprintf("bench-%02d", j%7), fmt.Sprintf("sys-%02d", j%5), "fom", float64(i*n+j))
+	}
+	return Batch{Key: fmt.Sprintf("bench-key-%08d", i), Results: rs}
+}
+
+// BenchmarkWALAppend measures the full durable-append path for one
+// 5-result batch: marshal, framed write, fsync, apply. This is the
+// per-push floor a single shard imposes; fsync dominates.
+func BenchmarkWALAppend(b *testing.B) {
+	s, err := Open(b.TempDir(), fixedOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Append(context.Background(), benchBatch(i, 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppendMany16 measures the group-commit path: 16 batches
+// (5 results each) under ONE fsync. Compare ns/op here against 16x
+// BenchmarkWALAppend to see what the router's ingest workers buy by
+// draining their queue into a single commit.
+func BenchmarkWALAppendMany16(b *testing.B) {
+	s, err := Open(b.TempDir(), fixedOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const group = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batches := make([]Batch, group)
+		for g := range batches {
+			batches[g] = benchBatch(i*group+g, 5)
+		}
+		if _, err := s.AppendMany(context.Background(), batches); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALRecovery measures reopening a store holding 1000 batches
+// (5000 results): segment scan, CRC verify, JSON decode, state
+// rebuild. This is the crash-restart cost a shard pays before serving.
+func BenchmarkWALRecovery(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, fixedOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := s.Append(context.Background(), benchBatch(i, 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, err := Open(dir, fixedOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s2.Len() != 5000 {
+			b.Fatalf("recovered %d results", s2.Len())
+		}
+		b.StopTimer()
+		s2.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,156 @@
+package resultstore
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/metricsdb"
+)
+
+// TestAppendManyGroupCommit: a group of batches lands atomically under
+// one fsync, with identity assigned in group order, and survives
+// recovery exactly.
+func TestAppendManyGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := []Batch{
+		{Key: "g1", Results: []metricsdb.Result{res("saxpy", "cts1", "t", 1), res("saxpy", "cts1", "t", 2)}},
+		{Key: "g2", Results: []metricsdb.Result{res("stream", "cts1", "bw", 90)}},
+		{Key: "g3", Results: []metricsdb.Result{res("hpcg", "tioga", "gflops", 7)}},
+	}
+	applied, err := s.AppendMany(context.Background(), batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range applied {
+		if !a {
+			t.Fatalf("batch %d reported duplicate on first apply", i)
+		}
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	all := s.Query(metricsdb.Filter{})
+	for i, r := range all {
+		if r.Seq != i+1 {
+			t.Fatalf("result %d has Seq %d — group order broken", i, r.Seq)
+		}
+	}
+	before, _ := json.Marshal(all)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery replays the group exactly.
+	s2, err := Open(dir, fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	after, _ := json.Marshal(s2.Query(metricsdb.Filter{}))
+	if string(before) != string(after) {
+		t.Fatalf("group commit not byte-identical across recovery:\n%s\n%s", before, after)
+	}
+	if !s2.HasKey("g1") || !s2.HasKey("g2") || !s2.HasKey("g3") {
+		t.Fatal("recovered store lost group keys")
+	}
+}
+
+// TestAppendManyDedupsWithinAndAcrossGroups: a key repeated inside one
+// group applies once; a key replayed in a later group is a duplicate.
+func TestAppendManyDedupsWithinAndAcrossGroups(t *testing.T) {
+	s, err := Open(t.TempDir(), fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	applied, err := s.AppendMany(context.Background(), []Batch{
+		{Key: "dup", Results: []metricsdb.Result{res("a", "x", "t", 1)}},
+		{Key: "dup", Results: []metricsdb.Result{res("a", "x", "t", 2)}},
+		{Key: "other", Results: []metricsdb.Result{res("b", "x", "t", 3)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if applied[i] != want[i] {
+			t.Fatalf("applied = %v, want %v", applied, want)
+		}
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2 (within-group duplicate applied)", got)
+	}
+	applied, err = s.AppendMany(context.Background(), []Batch{
+		{Key: "dup", Results: []metricsdb.Result{res("a", "x", "t", 9)}},
+	})
+	if err != nil || applied[0] {
+		t.Fatalf("cross-group replay: applied=%v err=%v", applied, err)
+	}
+}
+
+// TestAppendManyValidatesUpFront: one bad batch rejects the whole
+// group before anything is written.
+func TestAppendManyValidatesUpFront(t *testing.T) {
+	s, err := Open(t.TempDir(), fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, err = s.AppendMany(context.Background(), []Batch{
+		{Key: "ok", Results: []metricsdb.Result{res("a", "x", "t", 1)}},
+		{Key: "", Results: []metricsdb.Result{res("b", "x", "t", 2)}},
+	})
+	if err == nil {
+		t.Fatal("group with a keyless batch should fail")
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("failed group leaked %d results", got)
+	}
+}
+
+// TestAppendManyEmptyGroup: an empty group is a no-op, not an error.
+func TestAppendManyEmptyGroup(t *testing.T) {
+	s, err := Open(t.TempDir(), fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	applied, err := s.AppendMany(context.Background(), nil)
+	if err != nil || len(applied) != 0 {
+		t.Fatalf("empty group: applied=%v err=%v", applied, err)
+	}
+}
+
+// TestReplicationAccessors: ResultsAfter/MaxSeq/AppliedBatches expose
+// the watermark protocol primitives.
+func TestReplicationAccessors(t *testing.T) {
+	s, err := Open(t.TempDir(), fixedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mustAppend(t, s, "k1", res("a", "x", "t", 1), res("a", "x", "t", 2))
+	mustAppend(t, s, "k2", res("b", "x", "t", 3))
+	if got := s.MaxSeq(); got != 3 {
+		t.Fatalf("MaxSeq = %d, want 3", got)
+	}
+	if got := s.AppliedBatches(); got != 2 {
+		t.Fatalf("AppliedBatches = %d, want 2", got)
+	}
+	delta := s.ResultsAfter(1)
+	if len(delta) != 2 || delta[0].Seq != 2 || delta[1].Seq != 3 {
+		t.Fatalf("ResultsAfter(1) = %+v", delta)
+	}
+	if got := s.ResultsAfter(3); len(got) != 0 {
+		t.Fatalf("ResultsAfter(MaxSeq) = %+v, want empty", got)
+	}
+	// Watermark 0 is the full bootstrap snapshot.
+	if got := s.ResultsAfter(0); len(got) != 3 {
+		t.Fatalf("ResultsAfter(0) returned %d results, want 3", len(got))
+	}
+}

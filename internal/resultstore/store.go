@@ -267,11 +267,8 @@ func (s *Store) noteCounters(id, seq int) {
 // acknowledged batch is always recoverable. A batch whose key was
 // already applied returns (false, nil) without touching the WAL.
 func (s *Store) Append(ctx context.Context, b Batch) (applied bool, err error) {
-	if b.Key == "" {
-		return false, fmt.Errorf("resultstore: batch needs an ingest key")
-	}
-	if len(b.Results) == 0 {
-		return false, fmt.Errorf("resultstore: batch %q holds no results", b.Key)
+	if err := validateBatch(b); err != nil {
+		return false, err
 	}
 	if err := ctx.Err(); err != nil {
 		return false, err
@@ -289,66 +286,164 @@ func (s *Store) Append(ctx context.Context, b Batch) (applied bool, err error) {
 	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.maybeRotateLocked(); err != nil {
+		return false, err
+	}
+	ok, err := s.appendGroupLocked([]Batch{b})
+	if err != nil {
+		return false, err
+	}
+	return ok[0], nil
+}
+
+// AppendMany durably ingests a group of batches under one fsync: every
+// batch becomes its own WAL record (so replay and idempotency are
+// unchanged), but the group shares a single Sync before any batch is
+// acknowledged. This is the group-commit primitive the sharded
+// router's ingest workers use to amortize fsync cost across the
+// batches queued behind one durable write. applied[i] reports whether
+// batches[i] was new (false = its key was already applied, including
+// by an earlier batch in the same group). On error nothing from the
+// group is acknowledged; retrying the whole group is safe because
+// ingest keys dedup.
+func (s *Store) AppendMany(ctx context.Context, batches []Batch) (applied []bool, err error) {
+	if len(batches) == 0 {
+		return nil, nil
+	}
+	for _, b := range batches {
+		if err := validateBatch(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, span := telemetry.StartSpan(ctx, "wal:commit")
+	defer span.End()
+	span.SetInt("group", len(batches))
+	defer func() {
+		if err != nil {
+			span.SetError(err)
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.maybeRotateLocked(); err != nil {
+		return nil, err
+	}
+	return s.appendGroupLocked(batches)
+}
+
+// validateBatch rejects the shapes Append never accepts.
+func validateBatch(b Batch) error {
+	if b.Key == "" {
+		return fmt.Errorf("resultstore: batch needs an ingest key")
+	}
+	if len(b.Results) == 0 {
+		return fmt.Errorf("resultstore: batch %q holds no results", b.Key)
+	}
+	return nil
+}
+
+// maybeRotateLocked seals the active segment once it has outgrown the
+// segment bound. Callers rotate BEFORE appendGroupLocked so a
+// rotation failure leaves the group unwritten (clean retry semantics)
+// rather than half-applied — and so rotation's own seal-fsync stays
+// out of appendGroupLocked, whose single Sync call is the group's
+// entire durability story (walack's fact for it must go dirty the
+// moment that call is stripped).
+func (s *Store) maybeRotateLocked() error {
+	if s.activeSize >= s.opts.SegmentBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+// appendGroupLocked writes one record per new batch, fsyncs once, and
+// only then applies the group to the queryable state. Caller holds
+// s.mu, has validated every batch, and has rotated the segment.
+func (s *Store) appendGroupLocked(batches []Batch) ([]bool, error) {
 	if s.closed {
-		return false, fmt.Errorf("resultstore: store is closed")
+		return nil, fmt.Errorf("resultstore: store is closed")
 	}
 	if s.failed != nil {
-		return false, fmt.Errorf("resultstore: store failed: %w", s.failed)
+		return nil, fmt.Errorf("resultstore: store failed: %w", s.failed)
 	}
-	if s.keys[b.Key] {
-		return false, nil
+	applied := make([]bool, len(batches))
+	var (
+		assigned int // ID/Seq counter advance to roll back on failure
+		payloads [][]byte
+		results  [][]metricsdb.Result
+		keys     []string
+		seen     = map[string]bool{} // keys earlier in this group
+	)
+	rollback := func() {
+		s.nextID -= assigned
+		s.nextSeq -= assigned
 	}
-	// Rotate first so a rotation failure leaves the batch unwritten
-	// (clean retry semantics) rather than half-applied.
-	if s.activeSize >= s.opts.SegmentBytes {
-		if err := s.rotateLocked(); err != nil {
-			return false, err
+	for i, b := range batches {
+		if s.keys[b.Key] || seen[b.Key] {
+			continue // duplicate: acknowledged without a write
+		}
+		seen[b.Key] = true
+		rs := make([]metricsdb.Result, len(b.Results))
+		copy(rs, b.Results)
+		for j := range rs {
+			s.nextID++
+			s.nextSeq++
+			assigned++
+			rs[j].ID = s.nextID
+			rs[j].Seq = s.nextSeq
+			if rs[j].TraceID == "" {
+				rs[j].TraceID = b.TraceID
+			}
+		}
+		payload, err := json.Marshal(walBatch{
+			Key:      b.Key,
+			TraceID:  b.TraceID,
+			Received: s.clock.Now().UnixNano(),
+			Results:  rs,
+		})
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		payloads = append(payloads, payload)
+		results = append(results, rs)
+		keys = append(keys, b.Key)
+		applied[i] = true
+	}
+	var written int64
+	var werr error
+	for _, payload := range payloads {
+		n, err := appendRecord(s.active, payload)
+		written += int64(n)
+		if err != nil {
+			werr = err
+			break
 		}
 	}
-
-	rs := make([]metricsdb.Result, len(b.Results))
-	copy(rs, b.Results)
-	for i := range rs {
-		s.nextID++
-		s.nextSeq++
-		rs[i].ID = s.nextID
-		rs[i].Seq = s.nextSeq
-		if rs[i].TraceID == "" {
-			rs[i].TraceID = b.TraceID
-		}
-	}
-	payload, err := json.Marshal(walBatch{
-		Key:      b.Key,
-		TraceID:  b.TraceID,
-		Received: s.clock.Now().UnixNano(),
-		Results:  rs,
-	})
-	if err != nil {
-		s.nextID -= len(rs)
-		s.nextSeq -= len(rs)
-		return false, fmt.Errorf("resultstore: %w", err)
-	}
-	n, werr := appendRecord(s.active, payload)
-	if werr == nil {
+	if werr == nil && len(payloads) > 0 {
 		werr = s.active.Sync()
 	}
 	if werr != nil {
-		// The segment may hold a torn record now; cut it back to the
+		// The segment may hold torn records now; cut it back to the
 		// last known-good offset so later appends don't land behind a
 		// tear replay would drop.
-		s.nextID -= len(rs)
-		s.nextSeq -= len(rs)
+		rollback()
 		if terr := s.active.Truncate(s.activeSize); terr != nil {
 			s.failed = fmt.Errorf("append failed (%v) and truncate failed (%v)", werr, terr)
 		}
-		return false, fmt.Errorf("resultstore: appending batch: %w", werr)
+		return nil, fmt.Errorf("resultstore: appending batch: %w", werr)
 	}
-	s.activeSize += int64(n)
-	s.keys[b.Key] = true
-	for _, r := range rs {
-		s.db.Insert(r)
+	s.activeSize += written
+	for i, rs := range results {
+		s.keys[keys[i]] = true
+		for _, r := range rs {
+			s.db.Insert(r)
+		}
 	}
-	return true, nil
+	return applied, nil
 }
 
 // rotateLocked seals the active segment and opens the next one,
@@ -509,6 +604,28 @@ func (s *Store) HasKey(key string) bool {
 // durable. See the metricsdb package for semantics.
 
 func (s *Store) Query(f metricsdb.Filter) []metricsdb.Result { return s.db.Query(f) }
+
+// ResultsAfter returns every stored result with Seq strictly greater
+// than seq, in sequence order. Together with MaxSeq it is the
+// snapshot-shipping primitive: a follower at watermark W applies
+// ResultsAfter(W) and holds the primary's exact state — including
+// IDs, Seqs and trace provenance — so its query responses are
+// byte-identical to the primary's. ResultsAfter(0) is the full
+// snapshot a fresh follower bootstraps from.
+func (s *Store) ResultsAfter(seq int) []metricsdb.Result { return s.db.QueryAfter(seq) }
+
+// MaxSeq reports the highest assigned sequence number (0 when empty) —
+// the replication watermark.
+func (s *Store) MaxSeq() int { return s.db.MaxSeq() }
+
+// AppliedBatches reports how many distinct ingest batches the store
+// has applied over its lifetime (the follower-lag gauge's batch-count
+// companion to MaxSeq).
+func (s *Store) AppliedBatches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.keys)
+}
 
 func (s *Store) Series(f metricsdb.Filter, fom string) []metricsdb.Point {
 	return s.db.Series(f, fom)

@@ -1,0 +1,419 @@
+// Command fedsmoke is the verify gate's end-to-end check of the
+// results federation plane: it builds the real benchpark binary,
+// boots a 4-shard primary and one snapshot-shipping follower on
+// ephemeral ports, drives them with `benchpark loadtest` (≥100
+// simulated federated runners), and asserts the contracts the
+// federation layer exists for:
+//
+//   - the follower keeps serving reads WHILE the primary ingests;
+//   - the follower's lag gauge drains to zero and its reads are then
+//     byte-identical to the primary's across every query route;
+//   - a shard driven past its bounded queue answers 429 +
+//     Retry-After (typed ErrOverloaded) promptly — never a hang;
+//   - BENCH_resultstore.json dogfood-pushes through the sharded
+//     service and is queryable back out.
+//
+// Like opssmoke it exercises the binary and flag plumbing; the
+// in-process federation tests already cover the handlers.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"time"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fedsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+var httpc = &http.Client{Timeout: 10 * time.Second}
+
+// get fetches base+path and returns status and body.
+func get(base, path string) (int, []byte) {
+	resp, err := httpc.Get(base + path)
+	if err != nil {
+		fatalf("GET %s%s: %v", base, path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("GET %s%s: reading body: %v", base, path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// server is one running `benchpark serve` process.
+type server struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func (s *server) stop() {
+	s.cmd.Process.Kill()
+	s.cmd.Wait()
+}
+
+// startServe launches the binary with the given serve arguments and
+// waits for the announce line carrying the ephemeral address.
+func startServe(bin string, args ...string) *server {
+	cmd := exec.Command(bin, append([]string{"serve", "--addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatalf("starting serve %v: %v", args, err)
+	}
+	base, err := awaitAnnounce(stdout)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		fatalf("serve %v: %v", args, err)
+	}
+	return &server{cmd: cmd, base: base}
+}
+
+var announceRE = regexp.MustCompile(`on (http://\S+),`)
+
+// awaitAnnounce scans serve's stdout for the announce line
+// ("==> resultsd serving N results on http://HOST:PORT, MODE") and
+// returns the base URL, draining the pipe afterwards.
+func awaitAnnounce(stdout io.Reader) (string, error) {
+	type scanResult struct {
+		base string
+		err  error
+	}
+	ch := make(chan scanResult, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := announceRE.FindStringSubmatch(sc.Text()); m != nil {
+				ch <- scanResult{base: m[1]}
+				for sc.Scan() { // keep draining so the child never blocks
+				}
+				return
+			}
+		}
+		ch <- scanResult{err: fmt.Errorf("serve exited before announcing its address (scan err: %v)", sc.Err())}
+	}()
+	select {
+	case r := <-ch:
+		return r.base, r.err
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("serve did not announce its address within 30s")
+	}
+}
+
+// followerStatus mirrors the /v1/replica/status body.
+type followerStatus struct {
+	Synced     bool   `json:"synced"`
+	Syncs      int    `json:"syncs"`
+	LagResults int    `json:"lag_results"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// loadReport mirrors the fields of loadgen.Report this smoke asserts.
+type loadReport struct {
+	Runners       int     `json:"runners"`
+	BatchesPushed int     `json:"batches_pushed"`
+	ResultsPushed int     `json:"results_pushed"`
+	Duplicates    int     `json:"duplicates"`
+	Overloads     int     `json:"overloads"`
+	Errors        int     `json:"errors"`
+	BatchesPerSec float64 `json:"batches_per_second"`
+	FirstError    string  `json:"first_error,omitempty"`
+}
+
+func main() {
+	tmp, err := os.MkdirTemp("", "fedsmoke-")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "benchpark")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/benchpark")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fatalf("building benchpark: %v", err)
+	}
+
+	// ---- Topology: 4-shard primary + 1 follower ----------------------
+	// --shard-slow injects a small per-commit delay so the ingest phase
+	// lasts long enough to observe the follower serving reads during it;
+	// --shard-queue is sized so the ≤150 in-flight pushes never overflow
+	// (the overload drill below uses a separate, deliberately tiny
+	// topology).
+	primary := startServe(bin,
+		"--data", filepath.Join(tmp, "primary"),
+		"--shards", "4", "--shard-queue", "256", "--shard-slow", "20ms",
+		"--metrics")
+	defer primary.stop()
+	follower := startServe(bin, "--replica-of", primary.base, "--sync-interval", "25ms")
+	defer follower.stop()
+	fmt.Printf("    primary (4 shards) at %s, follower at %s\n", primary.base, follower.base)
+
+	if code, body := get(primary.base, "/v1/replica/meta"); code != http.StatusOK || !bytes.Contains(body, []byte(`"shards":4`)) {
+		fatalf("/v1/replica/meta = %d %s, want 200 with 4 shards", code, body)
+	}
+
+	// ---- Loadgen ingest with concurrent follower reads ---------------
+	reportPath := filepath.Join(tmp, "BENCH_federation.json")
+	lt := exec.Command(bin, "loadtest", primary.base,
+		"--runners", "120", "--batches", "6", "--results", "5",
+		"--out", reportPath)
+	lt.Stdout = os.Stdout
+	lt.Stderr = os.Stderr
+	if err := lt.Start(); err != nil {
+		fatalf("starting loadtest: %v", err)
+	}
+	ltDone := make(chan error, 1)
+	go func() { ltDone <- lt.Wait() }()
+
+	// While the fleet ingests, the follower must answer reads: that is
+	// the point of snapshot-shipping replicas. Every read below happens
+	// strictly before the loadtest process exits.
+	readsDuringIngest := 0
+ingest:
+	for {
+		select {
+		case err := <-ltDone:
+			if err != nil {
+				fatalf("loadtest failed: %v", err)
+			}
+			break ingest
+		default:
+			if code, _ := get(follower.base, "/v1/systems"); code != http.StatusOK {
+				fatalf("follower /v1/systems = %d during ingest, want 200", code)
+			}
+			if code, _ := get(follower.base, "/healthz"); code != http.StatusOK {
+				fatalf("follower /healthz = %d during ingest, want 200", code)
+			}
+			readsDuringIngest++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if readsDuringIngest < 3 {
+		fatalf("only %d follower reads completed during ingest; the ingest window was too short to prove concurrent serving", readsDuringIngest)
+	}
+	fmt.Printf("    follower answered %d reads while the primary ingested\n", readsDuringIngest)
+
+	var rep loadReport
+	repData, err := os.ReadFile(reportPath)
+	if err != nil {
+		fatalf("loadtest report: %v", err)
+	}
+	if err := json.Unmarshal(repData, &rep); err != nil {
+		fatalf("loadtest report: %v", err)
+	}
+	if rep.Runners < 100 {
+		fatalf("loadtest ran %d runners, want >= 100", rep.Runners)
+	}
+	if want := 120 * 6; rep.BatchesPushed != want || rep.Errors != 0 || rep.Overloads != 0 {
+		fatalf("loadtest pushed %d/%d batches with %d overloads, %d errors (first: %s)",
+			rep.BatchesPushed, want, rep.Overloads, rep.Errors, rep.FirstError)
+	}
+
+	// ---- Lag drains to zero; reads go byte-identical -----------------
+	deadline := time.Now().Add(15 * time.Second)
+	var st followerStatus
+	for {
+		code, body := get(follower.base, "/v1/replica/status")
+		if code != http.StatusOK {
+			fatalf("/v1/replica/status = %d", code)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			fatalf("/v1/replica/status: %v\n%s", err, body)
+		}
+		if st.Synced && st.LagResults == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("follower never caught up: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("    follower caught up (lag 0 after %d syncs)\n", st.Syncs)
+	if code, _ := get(follower.base, "/readyz"); code != http.StatusOK {
+		fatalf("synced follower /readyz = %d, want 200", code)
+	}
+
+	for _, path := range []string{
+		"/v1/systems",
+		"/v1/series?benchmark=fedbench-00&system=fedsys-000&fom=figure_of_merit",
+		"/v1/series?benchmark=fedbench-03&fom=figure_of_merit",
+		"/v1/regressions?benchmark=fedbench-01&system=fedsys-001&fom=figure_of_merit",
+	} {
+		pcode, pbody := get(primary.base, path)
+		fcode, fbody := get(follower.base, path)
+		if pcode != http.StatusOK || fcode != http.StatusOK {
+			fatalf("%s: primary %d, follower %d", path, pcode, fcode)
+		}
+		if !bytes.Equal(pbody, fbody) {
+			fatalf("%s: follower bytes diverge from primary\nprimary:  %s\nfollower: %s", path, pbody, fbody)
+		}
+	}
+	fmt.Println("    follower reads are byte-identical to the primary")
+
+	// ---- Dogfood: push BENCH_resultstore.json through the service ----
+	dogfoodBench(primary.base)
+
+	// ---- Overload drill: full queue answers 429, never hangs ---------
+	primary.stop()
+	follower.stop()
+	overloadDrill(bin, tmp)
+
+	fmt.Println("    federation plane OK: sharded ingest, live follower reads, lag catch-up, byte-identical replicas, 429 backpressure")
+}
+
+// dogfoodBench pushes the repo's recorded store benchmarks through the
+// sharded service as ordinary results and queries them back — the
+// perf trajectory rides the same pipe as everything else.
+func dogfoodBench(base string) {
+	data, err := os.ReadFile("BENCH_resultstore.json")
+	if err != nil {
+		fatalf("reading BENCH_resultstore.json: %v", err)
+	}
+	var bench struct {
+		Benchmarks map[string]struct {
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		fatalf("BENCH_resultstore.json: %v", err)
+	}
+	if len(bench.Benchmarks) == 0 {
+		fatalf("BENCH_resultstore.json holds no benchmarks")
+	}
+	type result struct {
+		Benchmark string             `json:"benchmark"`
+		Workload  string             `json:"workload"`
+		System    string             `json:"system"`
+		FOMs      map[string]float64 `json:"foms"`
+	}
+	req := struct {
+		IngestKey string   `json:"ingest_key"`
+		Results   []result `json:"results"`
+	}{IngestKey: "fedsmoke-dogfood-bench"}
+	for name, b := range bench.Benchmarks {
+		req.Results = append(req.Results, result{
+			Benchmark: name,
+			Workload:  "microbench",
+			System:    "ci-smoke",
+			FOMs:      map[string]float64{"ns_per_op": b.NsPerOp},
+		})
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	resp, err := httpc.Post(base+"/v1/results", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		fatalf("dogfood push: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("dogfood push = %d %s", resp.StatusCode, body)
+	}
+	code, series := get(base, "/v1/series?benchmark=BenchmarkWALAppend&system=ci-smoke&fom=ns_per_op")
+	if code != http.StatusOK || !bytes.Contains(series, []byte(`"value"`)) {
+		fatalf("dogfood query = %d %s, want the pushed WAL-append sample back", code, series)
+	}
+	fmt.Printf("    dogfood: %d store benchmarks pushed through the shards and queried back\n", len(req.Results))
+}
+
+// overloadDrill boots a deliberately tiny topology (2 shards, queue
+// depth 1, 300ms commits), fires 8 concurrent raw pushes pinned to one
+// shard, and asserts the overflow answers are prompt 429s carrying
+// Retry-After — the ErrOverloaded contract — rather than a wedge.
+func overloadDrill(bin, tmp string) {
+	srv := startServe(bin,
+		"--data", filepath.Join(tmp, "overload"),
+		"--shards", "2", "--shard-queue", "1", "--shard-slow", "300ms")
+	defer srv.stop()
+
+	type outcome struct {
+		code       int
+		retryAfter string
+	}
+	const posts = 8
+	outcomes := make([]outcome, posts)
+	var wg sync.WaitGroup
+	for i := 0; i < posts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Same (system, benchmark) pins every push to one shard;
+			// distinct keys keep dedup out of the way.
+			body := fmt.Sprintf(`{"ingest_key":"overload-%d","results":[{"benchmark":"amg2023","workload":"w","system":"tioga","foms":{"figure_of_merit":1}}]}`, i)
+			resp, err := httpc.Post(srv.base+"/v1/results", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				fatalf("overload push %d: %v", i, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			outcomes[i] = outcome{code: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		fatalf("overloaded shard hung: %d concurrent pushes did not all answer within 10s", posts)
+	}
+
+	accepted, overloaded := 0, 0
+	for i, o := range outcomes {
+		switch o.code {
+		case http.StatusOK:
+			accepted++
+		case http.StatusTooManyRequests:
+			if o.retryAfter == "" {
+				fatalf("overload push %d: 429 without a Retry-After hint", i)
+			}
+			overloaded++
+		default:
+			fatalf("overload push %d = %d, want 200 or 429", i, o.code)
+		}
+	}
+	if accepted == 0 || overloaded == 0 {
+		fatalf("overload drill: %d accepted / %d overloaded of %d — the drill needs both outcomes to prove backpressure", accepted, overloaded, posts)
+	}
+	// The shard must come back once the queue drains: the overload is
+	// load shedding, not a terminal state.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := httpc.Post(srv.base+"/v1/results", "application/json",
+			bytes.NewReader([]byte(`{"ingest_key":"overload-recovery","results":[{"benchmark":"amg2023","workload":"w","system":"tioga","foms":{"figure_of_merit":2}}]}`)))
+		if err != nil {
+			fatalf("recovery push: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			fatalf("recovery push = %d, want 200 or 429", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			fatalf("shard never recovered from overload")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("    overload drill: %d accepted, %d refused with 429 + Retry-After, shard recovered\n", accepted, overloaded)
+}

@@ -59,7 +59,7 @@ func main() {
 	}()
 
 	// The announce line carries the ephemeral address:
-	//   ==> resultsd serving N results on http://HOST:PORT (data DIR)
+	//   ==> resultsd serving N results on http://HOST:PORT, MODE
 	base, err := awaitAnnounce(stdout)
 	if err != nil {
 		fatalf("%v", err)
@@ -132,7 +132,7 @@ func main() {
 	fmt.Println("    ops plane OK: /healthz /readyz /metrics /debug/ops /debug/pprof")
 }
 
-var announceRE = regexp.MustCompile(`on (http://\S+) `)
+var announceRE = regexp.MustCompile(`on (http://[^\s,]+)`)
 
 // awaitAnnounce scans serve's stdout for the announce line and
 // returns the base URL. A deadline goroutine kills the wait if the

@@ -10,10 +10,12 @@
 # (concurrent ingest against the WAL, trace-context joins, the ops
 # plane and selfmonitor loop), the CI pipeline and metrics database
 # the traced push path flows through, the content-addressed cache
-# store (concurrent same-key writers), benchlint's concurrent
-# package loader, and the benchlint CLI whose tests drive that loader
-# end to end. A -diff dry-run also fails the gate when mechanical
-# fixes exist that nobody applied.
+# store (concurrent same-key writers), the sharded results federation
+# layer (per-shard commit workers under concurrent routed appends) and
+# its load generator (one goroutine per simulated runner), benchlint's
+# concurrent package loader, and the benchlint CLI whose tests drive
+# that loader end to end. A -diff dry-run also fails the gate when
+# mechanical fixes exist that nobody applied.
 #
 # benchlint runs ratchet-gated against the committed
 # .benchlint-baseline.json (only NEW findings fail; the file is empty,
@@ -23,6 +25,11 @@
 # scripts/sarifsmoke before CI ever depends on it. The ops plane is
 # smoke-checked by scripts/opssmoke, which starts the real binary and
 # scrapes /healthz, /readyz, /metrics, /debug/ops, and /debug/pprof.
+# The federation plane is smoke-checked end to end by
+# scripts/fedsmoke: a 4-shard primary plus one snapshot-shipping
+# follower under loadgen ingest, follower reads during ingest,
+# lag catch-up to byte-identical reads, and the 429/Retry-After
+# backpressure contract on an overloaded shard.
 #
 # Finally, the incremental re-run gate runs the example suite twice
 # over a shared --cache-dir: the second run must be 100% run-layer
@@ -62,10 +69,13 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/cachekey ./internal/telemetry ./internal/analysis ./internal/resultstore ./internal/resultsd ./internal/ci ./internal/metricsdb ./cmd/benchlint
+go test -race ./internal/engine ./internal/core ./internal/install ./internal/buildcache ./internal/cachekey ./internal/telemetry ./internal/analysis ./internal/resultstore ./internal/resultsd ./internal/resultshard ./internal/loadgen ./internal/ci ./internal/metricsdb ./cmd/benchlint
 
 echo "==> ops-plane smoke (serve --metrics --pprof, scrape every operations endpoint)"
 go run ./scripts/opssmoke
+
+echo "==> federation smoke (4-shard primary + follower, loadgen ingest, 429 backpressure)"
+go run ./scripts/fedsmoke
 
 echo "==> incremental re-run gate (second run over a shared cache must replay everything)"
 cache_tmp=$(mktemp -d)
