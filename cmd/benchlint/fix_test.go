@@ -183,11 +183,11 @@ func TestCLIListJSON(t *testing.T) {
 	if err := json.Unmarshal(stdout.Bytes(), &entries); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
 	}
-	wantNames := []string{"ctxflow", "determinism", "stageerr", "locks", "spanend", "lockorder", "goroleak", "walack", "purity", "maporder", "keycover"}
+	wantNames := []string{"ctxflow", "determinism", "stageerr", "locks", "spanend", "lockorder", "goroleak", "walack", "purity", "maporder", "keycover", "closecheck", "ctxleak", "sendblock"}
 	if len(entries) != len(wantNames) {
 		t.Fatalf("inventory has %d analyzers, want %d:\n%s", len(entries), len(wantNames), stdout.String())
 	}
-	wantFixes := map[string]bool{"ctxflow": true, "spanend": true, "maporder": true, "keycover": true}
+	wantFixes := map[string]bool{"ctxflow": true, "spanend": true, "maporder": true, "keycover": true, "closecheck": true, "ctxleak": true}
 	for i, e := range entries {
 		if e.Name != wantNames[i] {
 			t.Errorf("entry %d = %q, want %q", i, e.Name, wantNames[i])
@@ -255,5 +255,81 @@ func TestCLICacheCounters(t *testing.T) {
 	edited := runJSON()
 	if edited.Cache.Misses == 0 {
 		t.Error("edited package replayed from cache")
+	}
+}
+
+// leakyResultsd has exactly two findings, both in the resource-leak
+// tier with mechanical fixes: a cancel func not called on the error
+// path (ctxleak defers it after the acquisition) and a ticker never
+// stopped (closecheck defers the Stop).
+const leakyResultsd = `// Package resultsd is a fixture.
+package resultsd
+
+import (
+	"context"
+	"time"
+)
+
+func attempt(ctx context.Context, fail bool) error {
+	cctx, cancel := context.WithCancel(ctx)
+	if fail {
+		return context.Canceled
+	}
+	cancel()
+	return cctx.Err()
+}
+
+func tick(d time.Duration, done chan struct{}) {
+	t := time.NewTicker(d)
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+	}
+}
+`
+
+// TestCLIFixLeakTierIdempotent pins the closecheck and ctxleak
+// repairs end to end: -fix defers the cancel and the Stop, the fixed
+// tree is clean, and a second -fix is a no-op.
+func TestCLIFixLeakTierIdempotent(t *testing.T) {
+	files := map[string]string{
+		"go.mod":                        "module tmplint\n\ngo 1.22\n",
+		"internal/resultsd/resultsd.go": leakyResultsd,
+	}
+	dir := writeModule(t, files)
+	src := filepath.Join(dir, "internal", "resultsd", "resultsd.go")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-fix"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-fix exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	fixed, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"defer cancel()", "defer t.Stop()"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Fatalf("-fix did not insert %q:\n%s", want, fixed)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", dir, "-fix"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -fix exit code = %d, want 0\n%s%s", code, stdout.String(), stderr.String())
+	}
+	again, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(fixed) {
+		t.Errorf("-fix is not idempotent:\nfirst:\n%s\nsecond:\n%s", fixed, again)
+	}
+
+	if code := run([]string{"-C", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("fixed module still has findings (exit %d):\n%s", code, stdout.String())
 	}
 }

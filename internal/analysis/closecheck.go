@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseCheck enforces resource-release discipline on the CFG (DESIGN
+// §15): every acquired closer — files, tickers, timers, listeners,
+// HTTP response bodies — is released on every path from acquisition
+// to function exit, or ownership-transferred (stored in a struct,
+// returned, passed to a callee, captured by a closure). The
+// error-return arm of the acquisition's own `if err != nil` guard is
+// exempt: the resource was never handed out there. Paths that die in
+// panic/os.Exit are exempt too.
+//
+// The release that counts depends on the resource: Close for files
+// and listeners, Stop for tickers and timers (receiving from a
+// timer's C also drains it), resp.Body.Close for HTTP responses.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "acquired closers (files, tickers, response bodies) released on every path",
+	// The federation data plane owns nearly all of the module's
+	// tickers, response bodies and WAL file handles.
+	Scope: []string{
+		"internal/resultstore", "internal/resultsd",
+		"internal/resultshard", "internal/loadgen",
+	},
+	EmitsFixes: true,
+	Run:        runCloseCheck,
+}
+
+// closerKind describes what kind of resource an acquisition returns
+// and how it is released.
+type closerKind int
+
+const (
+	closerFile   closerKind = iota // Close()
+	closerTicker                   // Stop()
+	closerTimer                    // Stop() or a receive from .C
+	closerBody                     // .Body.Close()
+)
+
+func (k closerKind) release() string {
+	switch k {
+	case closerTicker, closerTimer:
+		return "Stop"
+	default:
+		return "Close"
+	}
+}
+
+func (k closerKind) what() string {
+	switch k {
+	case closerTicker:
+		return "ticker"
+	case closerTimer:
+		return "timer"
+	case closerBody:
+		return "response body"
+	default:
+		return "closer"
+	}
+}
+
+// closerAcquisition classifies a call as a resource acquisition.
+// hasErr reports whether the call's second result is the error paired
+// with the resource.
+func closerAcquisition(info *types.Info, call *ast.CallExpr) (kind closerKind, hasErr, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return 0, false, false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return 0, false, false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		switch fn.Name() {
+		case "Open", "Create", "OpenFile", "CreateTemp":
+			return closerFile, true, true
+		}
+	case "time":
+		switch fn.Name() {
+		case "NewTicker":
+			return closerTicker, false, true
+		case "NewTimer":
+			return closerTimer, false, true
+		}
+	case "net":
+		switch fn.Name() {
+		case "Listen", "Dial", "DialTimeout":
+			return closerFile, true, true
+		}
+	case "net/http":
+		switch fn.Name() {
+		case "Get", "Post", "PostForm", "Head", "Do":
+			return closerBody, true, true
+		}
+	}
+	return 0, false, false
+}
+
+func runCloseCheck(pass *Pass) {
+	for _, file := range pass.Files() {
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			checkClosers(pass, body)
+		})
+	}
+}
+
+func checkClosers(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo()
+	var c *CFG
+	ownFuncNodes(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, hasErr, ok := closerAcquisition(info, call)
+		if !ok {
+			return true
+		}
+		if hasErr && len(as.Lhs) != 2 || !hasErr && len(as.Lhs) != 1 {
+			return true
+		}
+		resIdent, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || resIdent.Name == "_" {
+			return true // discarded acquisitions are another analyzer's business
+		}
+		resObj := info.ObjectOf(resIdent)
+		if resObj == nil {
+			return true
+		}
+		var errObj types.Object
+		if hasErr {
+			if errIdent, isIdent := as.Lhs[1].(*ast.Ident); isIdent && errIdent.Name != "_" {
+				errObj = info.ObjectOf(errIdent)
+			}
+		}
+		if c == nil {
+			c = BuildCFG(info, body)
+		}
+		q := PathQuery{
+			Classify: func(cn ast.Node) PathVerdict {
+				if nodeReleasesCloser(cn, info, resObj, kind) {
+					return PathSatisfied
+				}
+				if nodeTransfersObj(cn, info, resObj) {
+					return PathSatisfied // ownership handed off
+				}
+				return PathContinue
+			},
+			PruneEdge: errGuardPruner(info, errObj),
+		}
+		if c.MustReachOnAllPaths(as, q) {
+			return true
+		}
+		fixes := closerFix(pass, body, as, resIdent.Name, kind, hasErr, errObj, info)
+		pass.ReportFix(as.Pos(), fixes,
+			"%s %s is not %sped on every path to return; defer %s.%s() (or transfer ownership) so no exit leaks it",
+			kind.what(), resIdent.Name, releaseVerb(kind), resIdent.Name, kind.release())
+		return true
+	})
+}
+
+func releaseVerb(k closerKind) string {
+	if k == closerTicker || k == closerTimer {
+		return "stop"
+	}
+	return "close"
+}
+
+// nodeReleasesCloser matches the release action for one resource
+// object: res.Close()/res.Stop() (per kind), res.Body.Close() for
+// responses, and a receive from res.C for timers.
+func nodeReleasesCloser(n ast.Node, info *types.Info, obj types.Object, kind closerKind) bool {
+	objIs := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && info.ObjectOf(id) == obj
+	}
+	if kind == closerBody {
+		return nodeContainsCall(n, func(call *ast.CallExpr) bool {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" {
+				return false
+			}
+			body, ok := sel.X.(*ast.SelectorExpr)
+			return ok && body.Sel.Name == "Body" && objIs(body.X)
+		})
+	}
+	if nodeContainsCall(n, func(call *ast.CallExpr) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == kind.release() && objIs(sel.X)
+	}) {
+		return true
+	}
+	if kind == closerTimer {
+		// `<-t.C` (typically a select case) consumes the single fire:
+		// the timer resources are reclaimed once delivered.
+		return nodeContains(n, func(m ast.Node) bool {
+			un, ok := m.(*ast.UnaryExpr)
+			if !ok || un.Op != token.ARROW {
+				return false
+			}
+			sel, ok := un.X.(*ast.SelectorExpr)
+			return ok && sel.Sel.Name == "C" && objIs(sel.X)
+		})
+	}
+	return false
+}
+
+// closerFix builds the `defer res.Close()`/`defer res.Stop()` repair
+// when it is unambiguous: the acquisition is a direct statement of a
+// block, and either it has no paired error (tickers, timers) or the
+// statement right after it is the `if err != nil { … return }` guard
+// — the defer goes after the guard so a nil resource is never
+// deferred on.
+func closerFix(pass *Pass, body *ast.BlockStmt, as *ast.AssignStmt, name string, kind closerKind, hasErr bool, errObj types.Object, info *types.Info) []Fix {
+	blk, idx := stmtContext(body, as)
+	if blk == nil {
+		return nil
+	}
+	text := "\ndefer " + name + "." + kind.release() + "()"
+	if kind == closerBody {
+		text = "\ndefer " + name + ".Body.Close()"
+	}
+	msg := "defer the release immediately after the acquisition"
+	if !hasErr {
+		return []Fix{{Message: msg, Edits: []TextEdit{pass.editReplace(as.End(), as.End(), text)}}}
+	}
+	// With a paired error the defer must follow the guard.
+	if errObj == nil || idx+1 >= len(blk.List) {
+		return nil
+	}
+	guard, ok := blk.List[idx+1].(*ast.IfStmt)
+	if !ok || guard.Init != nil || guard.Else != nil || len(guard.Body.List) == 0 {
+		return nil
+	}
+	if op, okNil := isNilCheck(info, guard.Cond, errObj); !okNil || op != token.NEQ {
+		return nil
+	}
+	if _, returns := guard.Body.List[len(guard.Body.List)-1].(*ast.ReturnStmt); !returns {
+		return nil
+	}
+	return []Fix{{
+		Message: "defer the release after the error guard",
+		Edits:   []TextEdit{pass.editReplace(guard.End(), guard.End(), text)},
+	}}
+}
+
+// nodeTransfersObj reports whether the CFG node hands ownership of
+// obj to someone else: obj (or obj.Body) passed as a call argument,
+// returned, stored via assignment, sent on a channel, placed in a
+// composite literal, address-taken, or captured by a function
+// literal/go statement. Reads like `f.Name()` or `res == nil` are
+// uses, not transfers.
+func nodeTransfersObj(n ast.Node, info *types.Info, obj types.Object) bool {
+	transferred := false
+	var stack []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if transferred {
+			return false
+		}
+		// A closure or spawned goroutine that mentions obj captures
+		// it; assume the capture takes responsibility.
+		switch m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			if usesObj(m, info, obj) {
+				transferred = true
+			}
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			if identTransfers(stack, id) {
+				transferred = true
+			}
+		}
+		stack = append(stack, m)
+		return true
+	})
+	return transferred
+}
+
+func usesObj(n ast.Node, info *types.Info, obj types.Object) bool {
+	used := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// identTransfers decides whether this occurrence of the object's
+// identifier moves ownership, given the ancestor stack (outermost
+// first, not including id itself).
+func identTransfers(stack []ast.Node, id *ast.Ident) bool {
+	// For `res.Body` the position of the *selector* decides — the
+	// Body field carries the closer, so passing or returning it moves
+	// ownership. Any other selector is a read (`resp.StatusCode`) or
+	// a method call (`f.Close()`), never a transfer.
+	top := ast.Node(id)
+	i := len(stack) - 1
+	for ; i >= 0; i-- {
+		sel, ok := stack[i].(*ast.SelectorExpr)
+		if !ok || sel.X != top {
+			break
+		}
+		if sel.Sel.Name != "Body" {
+			return false
+		}
+		top = sel
+	}
+	if i < 0 {
+		return false
+	}
+	switch parent := stack[i].(type) {
+	case *ast.CallExpr:
+		if parent.Fun == top {
+			return false // method call on the resource
+		}
+		return true // resource passed as argument
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		for _, l := range parent.Lhs {
+			if l == top {
+				return false // reassignment target, not a move of this value
+			}
+		}
+		// obj on the RHS: a store, unless every target is blank.
+		for _, l := range parent.Lhs {
+			if lid, ok := l.(*ast.Ident); !ok || lid.Name != "_" {
+				return true
+			}
+		}
+		return false
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		return true
+	case *ast.SendStmt:
+		return parent.Value == top
+	case *ast.UnaryExpr:
+		return parent.Op == token.AND
+	case *ast.ValueSpec:
+		return true // var other = res
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLeak enforces cancel-function discipline on the CFG (DESIGN
+// §15): every `ctx, cancel := context.WithCancel/WithTimeout/
+// WithDeadline(…)` must invoke cancel on every path from the
+// acquisition to function exit — `defer cancel()` (the house style)
+// satisfies immediately, an explicit call or handing the cancel func
+// off (returned, stored, passed along) satisfies the path it is on.
+// A leaked cancel pins the context's timer and done-channel machinery
+// for the parent's whole lifetime; under the federation ops plane
+// that is a per-request leak.
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "context cancel functions run on every path (defer cancel() recognized)",
+	// Every package that builds contexts: the engine's timeout
+	// bracket, the federation client/follower, the ops CLIs.
+	Scope: []string{
+		"internal/engine", "internal/core", "internal/ci",
+		"internal/resultstore", "internal/resultsd", "internal/resultshard",
+		"internal/loadgen", "internal/telemetry",
+		"cmd/benchpark", "cmd/benchlint",
+	},
+	EmitsFixes: true,
+	Run:        runCtxLeak,
+}
+
+func runCtxLeak(pass *Pass) {
+	for _, file := range pass.Files() {
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			checkCtxLeaks(pass, body)
+		})
+	}
+}
+
+// forEachFuncBody invokes fn once per function body in the file:
+// every FuncDecl and every function literal. Literals are their own
+// functions with their own CFGs; scans inside one body must skip
+// nested literals (ownFuncNodes does).
+func forEachFuncBody(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// ownFuncNodes walks the nodes of one function body without
+// descending into nested function literals.
+func ownFuncNodes(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return visit(n)
+	})
+}
+
+// contextCancelCall matches context.WithCancel/WithTimeout/
+// WithDeadline, returning the constructor's name.
+func contextCancelCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline":
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+func checkCtxLeaks(pass *Pass, body *ast.BlockStmt) {
+	var c *CFG // built lazily: most functions make no contexts
+	ownFuncNodes(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ctor, ok := contextCancelCall(pass.TypesInfo(), call)
+		if !ok {
+			return true
+		}
+		cancelIdent, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if cancelIdent.Name == "_" {
+			pass.Reportf(as.Pos(),
+				"the cancel function from context.%s is discarded; the context can never be released early — keep it and defer cancel()",
+				ctor)
+			return true
+		}
+		cancelObj := pass.TypesInfo().ObjectOf(cancelIdent)
+		if cancelObj == nil {
+			return true
+		}
+		if c == nil {
+			c = BuildCFG(pass.TypesInfo(), body)
+		}
+		q := PathQuery{Classify: func(cn ast.Node) PathVerdict {
+			if nodeCallsObj(cn, pass.TypesInfo(), cancelObj) {
+				return PathSatisfied
+			}
+			if nodeTransfersObj(cn, pass.TypesInfo(), cancelObj) {
+				return PathSatisfied // ownership handed off
+			}
+			return PathContinue
+		}}
+		if c.MustReachOnAllPaths(as, q) {
+			return true
+		}
+		var fixes []Fix
+		if blk, idx := stmtContext(body, as); blk != nil && idx >= 0 {
+			fixes = []Fix{{
+				Message: "defer " + cancelIdent.Name + "() immediately after context." + ctor,
+				Edits:   []TextEdit{pass.editReplace(as.End(), as.End(), "\ndefer "+cancelIdent.Name+"()")},
+			}}
+		}
+		pass.ReportFix(as.Pos(), fixes,
+			"%s from context.%s is not called on every path to return; defer it immediately after the acquisition (a leaked cancel pins the context's timer and goroutine)",
+			cancelIdent.Name, ctor)
+		return true
+	})
+}
+
+// nodeCallsObj reports whether the CFG node contains a direct call of
+// the object (`cancel()`), including inside a defer.
+func nodeCallsObj(n ast.Node, info *types.Info, obj types.Object) bool {
+	return nodeContainsCall(n, func(call *ast.CallExpr) bool {
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && info.ObjectOf(id) == obj
+	})
+}
+
+// stmtContext locates stmt as a direct element of some block
+// statement list inside body (not an if-init, not inside a nested
+// function literal), so a `defer …` can be inserted right after it.
+func stmtContext(body *ast.BlockStmt, stmt ast.Stmt) (*ast.BlockStmt, int) {
+	var blk *ast.BlockStmt
+	idx := -1
+	ownFuncNodes(body, func(n ast.Node) bool {
+		if blk != nil {
+			return false
+		}
+		b, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, s := range b.List {
+			if s == stmt {
+				blk, idx = b, i
+				return false
+			}
+		}
+		return true
+	})
+	return blk, idx
+}

@@ -32,7 +32,7 @@ import (
 
 // FactsSchema tags the serialized fact format; bump it when FuncFact
 // changes shape so stale cache entries read as misses.
-const FactsSchema = "benchlint-facts-2"
+const FactsSchema = "benchlint-facts-3"
 
 // LockEdge is one observed "acquired To while holding From" pair, the
 // unit the lockorder analyzer builds its whole-module graph from.
@@ -67,6 +67,13 @@ type FuncFact struct {
 	// or through a callee, so a goroutine running it is joinable via
 	// the WaitGroup.
 	CallsDone bool `json:"calls_done,omitempty"`
+	// BareSend: the function performs a channel send that is neither
+	// select-guarded (a select with a receive case or a default
+	// alongside it) nor aimed at a provably buffered channel (every
+	// make() reaching the channel has constant cap >= 1), directly or
+	// through a callee. A goroutine running such a function can wedge
+	// forever on a dead receiver; sendblock consumes this bit.
+	BareSend bool `json:"bare_send,omitempty"`
 	// The purity lattice (DESIGN §12): which classes of ambient state
 	// the function reads, directly or through a callee. A cached
 	// computation is a pure function of its key only when every
@@ -101,7 +108,7 @@ type FuncFact struct {
 }
 
 func (f *FuncFact) empty() bool {
-	return !f.Syncs && !f.Writes && !f.CtxBound && !f.CallsDone &&
+	return !f.Syncs && !f.Writes && !f.CtxBound && !f.CallsDone && !f.BareSend &&
 		!f.ReadsTime && !f.ReadsRand && !f.ReadsEnv && !f.ReadsFS && !f.ReadsGlobal &&
 		len(f.Acquires) == 0 && len(f.Edges) == 0
 }
@@ -340,6 +347,7 @@ type acqSite struct {
 // package-local call graph propagates the transitive facts (Go
 // packages are acyclic, but functions within one package are not).
 func computePackageFacts(pkg *Package, modPath, modRoot string, deps map[string]*PackageFacts) *PackageFacts {
+	fieldCaps := bufferedChanFields(pkg)
 	raws := map[string]*rawFunc{}
 	var order []string
 	for _, file := range pkg.Files {
@@ -352,7 +360,7 @@ func computePackageFacts(pkg *Package, modPath, modRoot string, deps map[string]
 			if !ok {
 				continue
 			}
-			rf := collectRawFunc(pkg, modPath, fn.Body)
+			rf := collectRawFunc(pkg, modPath, fn.Body, fieldCaps)
 			raws[obj.FullName()] = rf
 			order = append(order, obj.FullName())
 		}
@@ -399,6 +407,9 @@ func computePackageFacts(pkg *Package, modPath, modRoot string, deps map[string]
 				}
 				if cf.CallsDone && !f.CallsDone {
 					f.CallsDone, changed = true, true
+				}
+				if cf.BareSend && !f.BareSend {
+					f.BareSend, changed = true, true
 				}
 				if cf.ReadsTime && !f.ReadsTime {
 					f.ReadsTime, changed = true, true
@@ -500,10 +511,11 @@ func containsString(s []string, v string) bool {
 // when invoked inline) except goroutine bodies — a `go func(){…}()`
 // neither syncs nor holds locks on the spawner's behalf; goroleak
 // analyzes those bodies itself.
-func collectRawFunc(pkg *Package, modPath string, body *ast.BlockStmt) *rawFunc {
+func collectRawFunc(pkg *Package, modPath string, body *ast.BlockStmt, fieldCaps map[*types.Var]int) *rawFunc {
 	rf := &rawFunc{fact: &FuncFact{}}
 	scanLockRegions(pkg, body.List, body.End(), rf)
 	collectFuncEvents(pkg, modPath, body, rf)
+	rf.fact.BareSend = len(bareSends(pkg, body, body, fieldCaps)) > 0
 	return rf
 }
 

@@ -18,6 +18,13 @@ import (
 // The check is interprocedural through facts: `go s.compactor()` is
 // fine because compactor's fact says it selects on the store's done
 // channel, wherever that function lives.
+//
+// Goroutine literals are checked on their CFG (DESIGN §15): bounded
+// means every loop in the body passes a blocking channel operation
+// (so cancellation can always reach it), or WaitGroup.Done runs on
+// every exit path. The old any-marker-anywhere scan accepted a
+// receive on one branch while another branch span forever; the cycle
+// check closes that false negative.
 var GoroLeak = &Analyzer{
 	Name: "goroleak",
 	Doc:  "every goroutine is joined (WaitGroup) or bounded (select/receive on a ctx or done channel)",
@@ -65,42 +72,60 @@ func goroutineBounded(pass *Pass, call *ast.CallExpr) bool {
 	return false
 }
 
-// funcLitBounded inspects a goroutine literal directly: the same
-// markers the fact computation uses, plus fact lookups for the
-// functions it calls.
+// funcLitBounded checks a goroutine literal on its CFG. Bounded
+// means either WaitGroup.Done runs on every exit path (the spawner
+// Waits, so the goroutine cannot outlive it — counter-bounded worker
+// loops included), or the body blocks on channel state: every cycle
+// passes a blocking channel operation (a select, a receive, a range
+// over a channel, or a call to a CtxBound callee), so no spin path
+// can escape cancellation.
 func funcLitBounded(pass *Pass, lit *ast.FuncLit) bool {
-	bounded := false
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if bounded {
-			return false
+	c := BuildCFG(pass.TypesInfo(), lit.Body)
+	isDone := func(n ast.Node) bool {
+		return nodeContainsCall(n, func(call *ast.CallExpr) bool {
+			if isWaitGroupDone(pass, call) {
+				return true
+			}
+			f := calleeFact(pass, call)
+			return f != nil && f.CallsDone
+		})
+	}
+	// ContainsNode guards the vacuous case: a body that never exits
+	// satisfies any all-paths query, but without a real Done call it
+	// is not joined.
+	if c.ContainsNode(isDone) && c.MustReachOnAllPaths(nil, PathQuery{Classify: func(n ast.Node) PathVerdict {
+		if isDone(n) {
+			return PathSatisfied
 		}
+		return PathContinue
+	}}) {
+		return true
+	}
+	blocking := func(n ast.Node) bool {
 		switch n := n.(type) {
-		case *ast.FuncLit:
-			if n != lit {
-				return false // a nested goroutine is its own problem
-			}
 		case *ast.SelectStmt:
-			bounded = true
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				bounded = true
-			}
+			return true
 		case *ast.RangeStmt:
 			if t := pass.TypesInfo().TypeOf(n.X); t != nil {
 				if _, ok := t.Underlying().(*types.Chan); ok {
-					bounded = true
+					return true
 				}
 			}
-		case *ast.CallExpr:
-			if isWaitGroupDone(pass, n) {
-				bounded = true
-			} else if f := calleeFact(pass, n); f != nil && (f.CtxBound || f.CallsDone) {
-				bounded = true
-			}
 		}
-		return true
-	})
-	return bounded
+		return nodeContains(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.UnaryExpr:
+				return m.Op == token.ARROW
+			case *ast.CallExpr:
+				f := calleeFact(pass, m)
+				return f != nil && f.CtxBound
+			}
+			return false
+		})
+	}
+	// Not joined: channel-bounded only if a blocking node exists and
+	// no cycle can spin past one.
+	return c.ContainsNode(blocking) && c.EveryCycleContains(blocking)
 }
 
 // isWaitGroupDone matches a (*sync.WaitGroup).Done call.

@@ -112,3 +112,98 @@ func TestKeyCoverFlagsSeededUnkeyedField(t *testing.T) {
 		}
 	}
 }
+
+// TestCtxLeakFlagsSeededCancelDrop deletes the `defer cancel()` in
+// the resultsd client's per-attempt retry path (replacing it with the
+// `_ = cancel` a developer would write to silence the compiler) and
+// asserts ctxleak catches the leaked timeout context.
+func TestCtxLeakFlagsSeededCancelDrop(t *testing.T) {
+	root := copyModule(t, "../..")
+
+	client := filepath.Join(root, "internal", "resultsd", "client.go")
+	src, err := os.ReadFile(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const site = "defer cancel()"
+	if n := strings.Count(string(src), site); n != 1 {
+		t.Fatalf("found %d occurrences of %q in client.go, want 1 (mutation site moved?)", n, site)
+	}
+	mutated := strings.Replace(string(src), site, "_ = cancel", 1)
+	if err := os.WriteFile(client, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunModule(RunOptions{
+		Dir:       root,
+		Patterns:  []string{"./internal/resultsd"},
+		Analyzers: []*Analyzer{CtxLeak},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []Finding
+	for _, f := range res.Findings {
+		if f.Analyzer == "ctxleak" && !f.Suppressed {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("ctxleak missed the dropped defer cancel() seeded into the client retry path")
+	}
+	for _, f := range hits {
+		if f.File != "internal/resultsd/client.go" {
+			t.Errorf("finding in %s, want internal/resultsd/client.go", f.File)
+		}
+		if !strings.Contains(f.Message, "WithTimeout") {
+			t.Errorf("finding does not name the acquisition: %s", f.Message)
+		}
+	}
+}
+
+// TestCloseCheckFlagsSeededTickerLeak deletes the `defer
+// ticker.Stop()` in the follower sync loop and asserts closecheck
+// catches the ticker that now outlives every return path.
+func TestCloseCheckFlagsSeededTickerLeak(t *testing.T) {
+	root := copyModule(t, "../..")
+
+	replica := filepath.Join(root, "internal", "resultsd", "replica.go")
+	src, err := os.ReadFile(replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const site = "\tdefer ticker.Stop()\n"
+	if n := strings.Count(string(src), site); n != 1 {
+		t.Fatalf("found %d occurrences of %q in replica.go, want 1 (mutation site moved?)", n, site)
+	}
+	mutated := strings.Replace(string(src), site, "", 1)
+	if err := os.WriteFile(replica, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunModule(RunOptions{
+		Dir:       root,
+		Patterns:  []string{"./internal/resultsd"},
+		Analyzers: []*Analyzer{CloseCheck},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits []Finding
+	for _, f := range res.Findings {
+		if f.Analyzer == "closecheck" && !f.Suppressed {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) == 0 {
+		t.Fatal("closecheck missed the dropped ticker.Stop() seeded into the follower sync loop")
+	}
+	for _, f := range hits {
+		if f.File != "internal/resultsd/replica.go" {
+			t.Errorf("finding in %s, want internal/resultsd/replica.go", f.File)
+		}
+		if !strings.Contains(f.Message, "ticker") {
+			t.Errorf("finding does not name the resource: %s", f.Message)
+		}
+	}
+}

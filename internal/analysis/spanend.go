@@ -11,6 +11,12 @@ import (
 // return can bypass — and never discarded outright. A span that is
 // not ended never reaches the tracer, so it silently vanishes from
 // every trace export.
+//
+// The check runs on the CFG (DESIGN §15): "Ended on every return
+// path" is MustReachOnAllPaths from the StartSpan to function exit,
+// which catches the branch shapes the old statement-order scan missed
+// (an End in one switch arm while another arm returns, spans opened
+// in nested blocks and never closed anywhere).
 var SpanEnd = &Analyzer{
 	Name:       "spanend",
 	Doc:        "every StartSpan has a matching End on every return path",
@@ -33,18 +39,55 @@ func deferEndFix(pass *Pass, start ast.Stmt, span string) []Fix {
 
 func runSpanEnd(pass *Pass) {
 	for _, file := range pass.Files() {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl:
-				if n.Body != nil {
-					scanSpanPairs(pass, n.Body.List, true)
-				}
-			case *ast.FuncLit:
-				scanSpanPairs(pass, n.Body.List, true)
-			}
-			return true
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			checkSpanEnds(pass, body)
 		})
 	}
+}
+
+// checkSpanEnds verifies every StartSpan in one function body (nested
+// literals are their own functions) against the body's CFG: every
+// path from the acquisition to exit must pass an End on the span —
+// a defer satisfies immediately, paths dying in panic/os.Exit are
+// exempt.
+func checkSpanEnds(pass *Pass, body *ast.BlockStmt) {
+	var c *CFG // lazy: most functions start no spans
+	ownFuncNodes(body, func(n ast.Node) bool {
+		stmt, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		span, matched := startSpanAssign(stmt)
+		if !matched {
+			return true
+		}
+		if span == "_" {
+			pass.Reportf(stmt.Pos(),
+				"StartSpan's span is discarded; it can never be Ended and will be missing from the trace")
+			return true
+		}
+		if c == nil {
+			c = BuildCFG(pass.TypesInfo(), body)
+		}
+		ends := PathQuery{Classify: func(cn ast.Node) PathVerdict {
+			if nodeContainsCall(cn, func(call *ast.CallExpr) bool {
+				return endCallExpr(call, span)
+			}) {
+				return PathSatisfied
+			}
+			return PathContinue
+		}}
+		if c.MustReachOnAllPaths(stmt, ends) {
+			return true
+		}
+		var fixes []Fix
+		if blk, _ := stmtContext(body, stmt); blk != nil {
+			fixes = deferEndFix(pass, stmt, span)
+		}
+		pass.ReportFix(stmt.Pos(), fixes,
+			"span %s is not Ended on every return path; defer %s.End() immediately after StartSpan", span, span)
+		return true
+	})
 }
 
 // startSpanAssign matches `ctx, s := ....StartSpan(...)` (or a plain
@@ -77,15 +120,6 @@ func startSpanAssign(stmt ast.Stmt) (span string, ok bool) {
 	return id.Name, true
 }
 
-// endCall matches an ExprStmt calling End() on the named span.
-func endCall(stmt ast.Stmt, span string) bool {
-	es, isExpr := stmt.(*ast.ExprStmt)
-	if !isExpr {
-		return false
-	}
-	return endCallExpr(es.X, span)
-}
-
 func endCallExpr(e ast.Expr, span string) bool {
 	call, isCall := e.(*ast.CallExpr)
 	if !isCall {
@@ -96,100 +130,4 @@ func endCallExpr(e ast.Expr, span string) bool {
 		return false
 	}
 	return types.ExprString(sel.X) == span
-}
-
-// scanSpanPairs walks one statement list. For each StartSpan it
-// requires a matching deferred or straight-line End before the end of
-// the list, with no return statement slipping through in between. It
-// recurses into nested blocks to find spans opened there.
-func scanSpanPairs(pass *Pass, stmts []ast.Stmt, funcBody bool) {
-	for i, stmt := range stmts {
-		// Recurse into compound statements.
-		switch s := stmt.(type) {
-		case *ast.BlockStmt:
-			scanSpanPairs(pass, s.List, false)
-		case *ast.IfStmt:
-			scanSpanPairs(pass, s.Body.List, false)
-			if blk, ok := s.Else.(*ast.BlockStmt); ok {
-				scanSpanPairs(pass, blk.List, false)
-			}
-		case *ast.ForStmt:
-			scanSpanPairs(pass, s.Body.List, false)
-		case *ast.RangeStmt:
-			scanSpanPairs(pass, s.Body.List, false)
-		case *ast.SwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					scanSpanPairs(pass, cc.Body, false)
-				}
-			}
-		case *ast.TypeSwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					scanSpanPairs(pass, cc.Body, false)
-				}
-			}
-		case *ast.SelectStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CommClause); ok {
-					scanSpanPairs(pass, cc.Body, false)
-				}
-			}
-		}
-
-		span, ok := startSpanAssign(stmt)
-		if !ok {
-			continue
-		}
-		if span == "_" {
-			pass.Reportf(stmt.Pos(),
-				"StartSpan's span is discarded; it can never be Ended and will be missing from the trace")
-			continue
-		}
-		ended := false
-		for _, next := range stmts[i+1:] {
-			if d, isDefer := next.(*ast.DeferStmt); isDefer {
-				if endCallExpr(d.Call, span) {
-					ended = true
-					break
-				}
-				continue
-			}
-			if endCall(next, span) {
-				ended = true
-				break
-			}
-			if escapesUnended(next, span) {
-				pass.ReportFix(stmt.Pos(), deferEndFix(pass, stmt, span),
-					"span %s is not Ended on every return path; defer %s.End() immediately after StartSpan", span, span)
-				ended = true // reported; stop tracking this span
-				break
-			}
-		}
-		if !ended && funcBody {
-			pass.ReportFix(stmt.Pos(), deferEndFix(pass, stmt, span),
-				"span %s has no matching %s.End() before the function returns", span, span)
-		}
-	}
-}
-
-// escapesUnended reports whether stmt can return from the function
-// with the span still open: it contains a return statement and no
-// matching End anywhere in its subtree (closures excluded).
-func escapesUnended(stmt ast.Stmt, span string) bool {
-	hasReturn, hasEnd := false, false
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.ReturnStmt:
-			hasReturn = true
-		case *ast.CallExpr:
-			if endCallExpr(n, span) {
-				hasEnd = true
-			}
-		}
-		return true
-	})
-	return hasReturn && !hasEnd
 }

@@ -4,10 +4,16 @@ package analysis
 // they are documented: the five intra-package rules the execution
 // engine's correctness rests on (DESIGN.md "Enforced invariants"),
 // the three interprocedural ones built on the fact system (DESIGN.md
-// §10), and the cache-soundness tier that proves warm replays are
-// pure functions of their keys (DESIGN.md §12).
+// §10), the cache-soundness tier that proves warm replays are pure
+// functions of their keys (DESIGN.md §12), and the CFG-backed
+// resource-leak tier guarding the federation plane's closers, cancel
+// funcs and worker sends (DESIGN.md §15).
 func Suite() []*Analyzer {
-	return []*Analyzer{CtxFlow, Determinism, StageErr, Locks, SpanEnd, LockOrder, GoroLeak, WalAck, Purity, MapOrder, KeyCover}
+	return []*Analyzer{
+		CtxFlow, Determinism, StageErr, Locks, SpanEnd, LockOrder, GoroLeak, WalAck,
+		Purity, MapOrder, KeyCover,
+		CloseCheck, CtxLeak, SendBlock,
+	}
 }
 
 // ByName resolves a comma-separated selection against the suite.

@@ -1,0 +1,128 @@
+// Package cfgfix holds labelled control-flow shapes for the CFG
+// engine's unit tests. probe calls tag statements so cfg_test.go can
+// find them and ask dominance / path questions about real goto,
+// labelled-break, select, switch and defer shapes.
+package cfgfix
+
+func probe(string) {}
+
+type handle struct{}
+
+func open() (*handle, error) { return &handle{}, nil }
+
+func (h *handle) close() {}
+
+func gotoLoop(n int) {
+	probe("entry")
+retry:
+	probe("header")
+	if n > 0 {
+		n--
+		goto retry
+	}
+	probe("done")
+}
+
+func labeledBreak(xs [][]int, stop int) int {
+	probe("start")
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v == stop {
+				probe("hit")
+				break outer
+			}
+			probe("inner")
+		}
+	}
+	probe("after")
+	return stop
+}
+
+func selectShape(ch chan int, done chan struct{}) int {
+	probe("before")
+	select {
+	case v := <-ch:
+		probe("recv")
+		return v
+	case <-done:
+		probe("dcase")
+	}
+	probe("joined")
+	return 0
+}
+
+func switchFall(x int) int {
+	probe("sw")
+	switch x {
+	case 1:
+		probe("one")
+		fallthrough
+	case 2:
+		probe("two")
+	default:
+		probe("def")
+	}
+	probe("end")
+	return x
+}
+
+func panicPath(ok bool) {
+	probe("p0")
+	if !ok {
+		panic("boom")
+	}
+	probe("p1")
+}
+
+func deferShape(ok bool) {
+	probe("d0")
+	defer probe("cleanup")
+	if !ok {
+		return
+	}
+	probe("d1")
+}
+
+func guardShape() error {
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	probe("use")
+	f.close()
+	return nil
+}
+
+func reachShape(dirty bool) {
+	probe("w")
+	if dirty {
+		probe("sync")
+	}
+	probe("ret")
+}
+
+func reachBlocked() {
+	probe("w2")
+	probe("sync2")
+	probe("ret2")
+}
+
+func cycles(done chan struct{}) {
+	probe("c0")
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		probe("work")
+	}
+}
+
+func spin() {
+	probe("s0")
+	for {
+		probe("spinwork")
+	}
+}

@@ -1,0 +1,86 @@
+package fixture
+
+import (
+	"net/http"
+	"os"
+	"time"
+)
+
+// deferred is the canonical shape: the error-return arm of the guard
+// is exempt, and the defer covers every later exit.
+func deferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// tickerStopped defers the Stop before entering the loop.
+func tickerStopped(interval time.Duration, done chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// timerDrained either stops the timer or consumes its single fire.
+func timerDrained(d time.Duration, done chan struct{}) {
+	t := time.NewTimer(d)
+	select {
+	case <-done:
+		t.Stop()
+	case <-t.C:
+	}
+}
+
+type holder struct{ f *os.File }
+
+// transferred hands the file to a struct the caller owns.
+func transferred(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+// returned hands the open file itself back to the caller.
+func returned(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// everyArmCloses releases explicitly on each path instead of
+// deferring.
+func everyArmCloses(path string, keep bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if keep {
+		f.Close()
+		return nil
+	}
+	f.Close()
+	return nil
+}
+
+// bodyClosed defers the response-body release after the guard.
+func bodyClosed(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises ctxleak: cancel functions from
+// context.WithCancel/WithTimeout/WithDeadline that some path never
+// invokes.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// leakOnError cancels on the happy path but leaks on the early
+// return.
+func leakOnError(ctx context.Context, fail bool) error {
+	cctx, cancel := context.WithCancel(ctx) //want ctxleak
+	if fail {
+		return context.Canceled
+	}
+	cancel()
+	return cctx.Err()
+}
+
+// neverCancelled discards the cancel func outright.
+func neverCancelled(ctx context.Context, d time.Duration) context.Context {
+	tctx, _ := context.WithTimeout(ctx, d) //want ctxleak
+	return tctx
+}
+
+// branchLeak cancels only on the late arm.
+func branchLeak(ctx context.Context, deadline time.Time, late bool) error {
+	dctx, cancel := context.WithDeadline(ctx, deadline) //want ctxleak
+	if late {
+		cancel()
+		return dctx.Err()
+	}
+	return nil
+}

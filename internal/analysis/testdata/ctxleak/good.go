@@ -1,0 +1,51 @@
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// deferred is the canonical shape the fix inserts.
+func deferred(ctx context.Context) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return cctx.Err()
+}
+
+// reassignedForm uses plain assignment into pre-declared variables —
+// the retry-loop idiom.
+func reassignedForm(ctx context.Context, d time.Duration) error {
+	var cancel context.CancelFunc
+	ctx, cancel = context.WithTimeout(ctx, d)
+	defer cancel()
+	return ctx.Err()
+}
+
+// explicitOnEveryPath calls cancel on each arm instead of deferring.
+func explicitOnEveryPath(ctx context.Context, ok bool) error {
+	cctx, cancel := context.WithCancel(ctx)
+	if ok {
+		cancel()
+		return nil
+	}
+	cancel()
+	return cctx.Err()
+}
+
+type session struct {
+	cancel context.CancelFunc
+}
+
+// stored transfers ownership of the cancel func to a struct whose
+// owner shuts it down later.
+func stored(ctx context.Context) *session {
+	_, cancel := context.WithCancel(ctx)
+	return &session{cancel: cancel}
+}
+
+// handedBack returns the cancel func to the caller — the
+// context.WithCancel contract itself.
+func handedBack(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	tctx, cancel := context.WithTimeout(ctx, d)
+	return tctx, cancel
+}

@@ -22,3 +22,18 @@ func bareLoop() {
 func namedLeak() {
 	go spin() //want goroleak
 }
+
+// mixedLeak is the near-miss the pre-CFG scan accepted: a receive
+// exists on one branch, but the other branch spins forever with no
+// channel state to stop it.
+func mixedLeak(mode bool, done chan struct{}) {
+	go func() { //want goroleak
+		if mode {
+			<-done
+			return
+		}
+		for {
+			sink++
+		}
+	}()
+}

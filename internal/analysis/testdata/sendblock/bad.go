@@ -1,0 +1,44 @@
+// Package fixture exercises sendblock: goroutine sends that are
+// neither select-guarded nor provably buffered.
+package fixture
+
+// produceLeak sends unguarded on a channel of unknown capacity from
+// inside a goroutine loop: if the receiver dies, the producer wedges.
+func produceLeak(ch chan int) {
+	go func() {
+		for i := 0; ; i++ {
+			ch <- i //want sendblock
+		}
+	}()
+}
+
+// sendOnlySelect has no always-viable alternative: both comm clauses
+// are sends, so the select blocks when both receivers are gone.
+func sendOnlySelect(a, b chan int) {
+	go func() {
+		for {
+			select {
+			case a <- 1: //want sendblock
+			case b <- 2: //want sendblock
+			}
+		}
+	}()
+}
+
+// relay carries the bare send as a fact; it is not itself a goroutine
+// so nothing is reported here.
+func relay(ch chan int, v int) {
+	ch <- v
+}
+
+// spawnRelay flags at the spawn site via the callee's BareSend fact.
+func spawnRelay(ch chan int) {
+	go relay(ch, 1) //want sendblock
+}
+
+// spawnViaClosure flags the helper call inside the goroutine body.
+func spawnViaClosure(ch chan int) {
+	go func() {
+		relay(ch, 2) //want sendblock
+	}()
+}

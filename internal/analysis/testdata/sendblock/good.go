@@ -1,0 +1,66 @@
+package fixture
+
+// guarded selects the send against a done receive: shutdown can
+// always win.
+func guarded(ch chan int, done chan struct{}) {
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case ch <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// defaulted never blocks: the default arm drops the value.
+func defaulted(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// oneShot sends on a channel provably buffered in the enclosing
+// function — the classic single-result ack idiom.
+func oneShot() chan error {
+	res := make(chan error, 1)
+	go func() {
+		res <- nil
+	}()
+	return res
+}
+
+type pending struct {
+	done chan error
+}
+
+func newPending() *pending {
+	return &pending{done: make(chan error, 1)}
+}
+
+// ackField sends on a struct field every assignment of which is a
+// buffered make (bufferedChanFields proves capacity 1).
+func ackField(p *pending) {
+	go func() {
+		p.done <- nil
+	}()
+}
+
+// forward guards its send, so its fact carries no BareSend bit and
+// spawning through it is clean.
+func forward(ch chan int, done chan struct{}) {
+	select {
+	case ch <- 1:
+	case <-done:
+	}
+}
+
+func guardedHelper(ch chan int, done chan struct{}) {
+	go func() {
+		forward(ch, done)
+	}()
+}

@@ -53,3 +53,19 @@ func leakInClosure(ctx context.Context, t tracer) func() {
 		_ = s
 	}
 }
+
+// switchLeak is the near-miss the pre-CFG scan accepted: case 1 both
+// Ends and returns, so a statement-order walk saw the span as ended —
+// but case 2 returns with the span still open.
+func switchLeak(ctx context.Context, t tracer, x int) error {
+	_, s := t.StartSpan(ctx, "work") //want spanend
+	switch x {
+	case 1:
+		s.End()
+		return nil
+	case 2:
+		return context.Canceled
+	}
+	s.End()
+	return nil
+}

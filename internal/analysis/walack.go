@@ -14,11 +14,12 @@ import (
 //
 // The check is interprocedural through facts: a write performed by a
 // helper (appendRecord) and a sync performed by another helper both
-// count, transitively. The approximation is flow-order within the
-// function body: a write after the last sync re-dirties the file, so
-// a nil return is flagged unless a sync (direct `(*os.File).Sync` or
-// a call whose fact says Syncs) happens after the last write and
-// before the return.
+// count, transitively. Path sensitivity comes from the CFG (DESIGN
+// §15): a nil return is flagged when any control-flow path carries a
+// write to it with no sync barrier in between — "the fsync dominates
+// the ack" — which catches branch shapes the old source-order scan
+// missed (a write arm and a sync arm of the same if, where source
+// order sees the sync last).
 var WalAck = &Analyzer{
 	Name: "walack",
 	Doc:  "ingest/commit paths fsync the WAL before acknowledging (returning nil)",
@@ -70,36 +71,49 @@ func returnsError(pass *Pass, ftype *ast.FuncType) bool {
 	return t != nil && isErrorType(t)
 }
 
-// checkAckSyncs walks the body in source order tracking two bits:
-// "the WAL is dirty" (a write happened since the last sync) and
-// flags every `return …, nil` reached while dirty. Goroutine and
-// closure bodies are skipped — they do not run on the ack path.
+// checkAckSyncs classifies the function's CFG nodes as WAL writes and
+// sync barriers (goroutine and closure bodies excluded — they do not
+// run on the ack path) and flags every `return …, nil` some write
+// reaches with no barrier in between.
 func checkAckSyncs(pass *Pass, fn *ast.FuncDecl) {
-	dirty := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit, *ast.GoStmt:
-			return false
-		case *ast.CallExpr:
-			switch classifyAckCall(pass, n) {
-			case ackWrite:
-				dirty = true
-			case ackSync:
-				dirty = false
-			case ackWriteSync:
-				// The callee writes and then syncs internally
-				// (atomic-write helpers): the file ends clean.
-				dirty = false
+	c := BuildCFG(pass.TypesInfo(), fn.Body)
+	isWrite := func(n ast.Node) bool {
+		return nodeContainsCall(n, func(call *ast.CallExpr) bool {
+			return classifyAckCall(pass, call) == ackWrite
+		})
+	}
+	// A callee that writes and then syncs internally (atomic-write
+	// helpers) leaves the file clean: a barrier, not a write.
+	isBarrier := func(n ast.Node) bool {
+		return nodeContainsCall(n, func(call *ast.CallExpr) bool {
+			k := classifyAckCall(pass, call)
+			return k == ackSync || k == ackWriteSync
+		})
+	}
+	var writes, acks []ast.Node
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if isWrite(n) {
+				writes = append(writes, n)
 			}
-		case *ast.ReturnStmt:
-			if dirty && isNilErrorReturn(n) {
-				pass.Reportf(n.Pos(),
-					"%s acknowledges the batch (returns nil) after a WAL write with no fsync on the path; call Sync before returning (or route the ack through a synced helper)",
-					fn.Name.Name)
+			if ret, ok := n.(*ast.ReturnStmt); ok && isNilErrorReturn(ret) {
+				acks = append(acks, n)
 			}
 		}
-		return true
-	})
+	}
+	for _, ack := range acks {
+		if isBarrier(ack) {
+			continue // the return expression itself syncs
+		}
+		for _, w := range writes {
+			if w == ack || c.ReachesWithout(w, ack, isBarrier) {
+				pass.Reportf(ack.Pos(),
+					"%s acknowledges the batch (returns nil) after a WAL write with no fsync on the path; call Sync before returning (or route the ack through a synced helper)",
+					fn.Name.Name)
+				break
+			}
+		}
+	}
 }
 
 type ackCallKind int

@@ -54,6 +54,12 @@ type Client struct {
 	// DisableCompression turns off gzip encoding of push bodies
 	// (bodies below gzipMinBytes are never compressed).
 	DisableCompression bool
+	// AttemptTimeout bounds each individual HTTP attempt (not the
+	// whole retry loop, which the caller's ctx governs). Zero means
+	// no per-attempt deadline. A wedged connection then costs one
+	// attempt, not the whole push: the deadline fires, the attempt
+	// fails as retryable, and the retry loop moves on.
+	AttemptTimeout time.Duration
 }
 
 // NewClient returns a client with the default retry policy.
@@ -194,6 +200,11 @@ func (c *Client) jitter(d time.Duration) time.Duration {
 // gzip-encoded) payload come from do so retried attempts share one
 // trace context and one set of bytes.
 func (c *Client) once(ctx context.Context, method, u, traceparent, encoding string, payload []byte, out any) error {
+	if c.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.AttemptTimeout)
+		defer cancel()
+	}
 	var body io.Reader
 	if payload != nil {
 		body = bytes.NewReader(payload)

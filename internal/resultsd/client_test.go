@@ -2,6 +2,7 @@ package resultsd
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -207,5 +208,43 @@ func TestClientRetryIsIdempotent(t *testing.T) {
 	}
 	if store.Len() != 1 {
 		t.Fatalf("store holds %d results, want 1 (no double ingest)", store.Len())
+	}
+}
+
+// TestClientAttemptTimeout proves the per-attempt deadline frees a
+// wedged attempt without giving up the whole call: the first attempt
+// hangs until its own context fires, the retry succeeds.
+func TestClientAttemptTimeout(t *testing.T) {
+	var calls atomic.Int32
+	backend, _ := newTestServer(t)
+	release := make(chan struct{})
+	defer close(release)
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Drain the body so the server watches the connection;
+			// then wedge until the attempt deadline makes the client
+			// hang up (or the test ends, so Close never deadlocks).
+			io.Copy(io.Discard, r.Body)
+			select {
+			case <-r.Context().Done():
+			case <-release:
+			}
+			return
+		}
+		backend.Handler().ServeHTTP(w, r)
+	}))
+	defer stuck.Close()
+	c := fastClient(stuck.URL)
+	c.AttemptTimeout = 50 * time.Millisecond
+	resp, err := c.Push(context.Background(), "k1",
+		[]metricsdb.Result{result("saxpy", "cts1", "saxpy_time", 1.0)})
+	if err != nil {
+		t.Fatalf("push through stuck-then-healthy server: %v", err)
+	}
+	if resp.Accepted != 1 {
+		t.Fatalf("Push = %+v", resp)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2 (one wedged, one retried)", got)
 	}
 }

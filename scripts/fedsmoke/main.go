@@ -10,8 +10,9 @@
 //     byte-identical to the primary's across every query route;
 //   - a shard driven past its bounded queue answers 429 +
 //     Retry-After (typed ErrOverloaded) promptly — never a hang;
-//   - BENCH_resultstore.json dogfood-pushes through the sharded
-//     service and is queryable back out.
+//   - the recorded benchmark files (BENCH_resultstore.json,
+//     BENCH_benchlint.json) dogfood-push through the sharded service
+//     and are queryable back out.
 //
 // Like opssmoke it exercises the binary and flag plumbing; the
 // in-process federation tests already cover the handlers.
@@ -267,8 +268,9 @@ ingest:
 	}
 	fmt.Println("    follower reads are byte-identical to the primary")
 
-	// ---- Dogfood: push BENCH_resultstore.json through the service ----
-	dogfoodBench(primary.base)
+	// ---- Dogfood: push the recorded benchmark files through ---------
+	dogfoodBench(primary.base, "BENCH_resultstore.json", "BenchmarkWALAppend")
+	dogfoodBench(primary.base, "BENCH_benchlint.json", "BenchmarkSuiteModuleCached")
 
 	// ---- Overload drill: full queue answers 429, never hangs ---------
 	primary.stop()
@@ -278,13 +280,14 @@ ingest:
 	fmt.Println("    federation plane OK: sharded ingest, live follower reads, lag catch-up, byte-identical replicas, 429 backpressure")
 }
 
-// dogfoodBench pushes the repo's recorded store benchmarks through the
-// sharded service as ordinary results and queries them back — the
-// perf trajectory rides the same pipe as everything else.
-func dogfoodBench(base string) {
-	data, err := os.ReadFile("BENCH_resultstore.json")
+// dogfoodBench pushes one of the repo's recorded benchmark files
+// through the sharded service as ordinary results and queries a probe
+// benchmark back — the perf trajectory rides the same pipe as
+// everything else.
+func dogfoodBench(base, file, probe string) {
+	data, err := os.ReadFile(file)
 	if err != nil {
-		fatalf("reading BENCH_resultstore.json: %v", err)
+		fatalf("reading %s: %v", file, err)
 	}
 	var bench struct {
 		Benchmarks map[string]struct {
@@ -292,10 +295,10 @@ func dogfoodBench(base string) {
 		} `json:"benchmarks"`
 	}
 	if err := json.Unmarshal(data, &bench); err != nil {
-		fatalf("BENCH_resultstore.json: %v", err)
+		fatalf("%s: %v", file, err)
 	}
 	if len(bench.Benchmarks) == 0 {
-		fatalf("BENCH_resultstore.json holds no benchmarks")
+		fatalf("%s holds no benchmarks", file)
 	}
 	type result struct {
 		Benchmark string             `json:"benchmark"`
@@ -306,7 +309,7 @@ func dogfoodBench(base string) {
 	req := struct {
 		IngestKey string   `json:"ingest_key"`
 		Results   []result `json:"results"`
-	}{IngestKey: "fedsmoke-dogfood-bench"}
+	}{IngestKey: "fedsmoke-dogfood-" + file}
 	for name, b := range bench.Benchmarks {
 		req.Results = append(req.Results, result{
 			Benchmark: name,
@@ -328,11 +331,11 @@ func dogfoodBench(base string) {
 	if resp.StatusCode != http.StatusOK {
 		fatalf("dogfood push = %d %s", resp.StatusCode, body)
 	}
-	code, series := get(base, "/v1/series?benchmark=BenchmarkWALAppend&system=ci-smoke&fom=ns_per_op")
+	code, series := get(base, "/v1/series?benchmark="+probe+"&system=ci-smoke&fom=ns_per_op")
 	if code != http.StatusOK || !bytes.Contains(series, []byte(`"value"`)) {
-		fatalf("dogfood query = %d %s, want the pushed WAL-append sample back", code, series)
+		fatalf("dogfood query = %d %s, want the pushed %s sample back", code, series, probe)
 	}
-	fmt.Printf("    dogfood: %d store benchmarks pushed through the shards and queried back\n", len(req.Results))
+	fmt.Printf("    dogfood: %d benchmarks from %s pushed through the shards and queried back\n", len(req.Results), file)
 }
 
 // overloadDrill boots a deliberately tiny topology (2 shards, queue

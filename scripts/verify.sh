@@ -20,8 +20,9 @@
 # benchlint runs ratchet-gated against the committed
 # .benchlint-baseline.json (only NEW findings fail; the file is empty,
 # so the floor is zero), the cache-soundness tier (purity, maporder,
-# keycover) gets an explicit pass over the whole module with the
-# incremental cache on, and the SARIF emission is smoke-checked by
+# keycover) and the CFG-backed resource-leak tier (closecheck,
+# ctxleak, sendblock) each get an explicit pass over the whole module
+# with the incremental cache on, and the SARIF emission is smoke-checked by
 # scripts/sarifsmoke before CI ever depends on it. The ops plane is
 # smoke-checked by scripts/opssmoke, which starts the real binary and
 # scrapes /healthz, /readyz, /metrics, /debug/ops, and /debug/pprof.
@@ -51,6 +52,9 @@ go run ./cmd/benchlint -cache "$lint_cache/pkg" -baseline .benchlint-baseline.js
 
 echo "==> benchlint cache-soundness tier (purity, maporder, keycover)"
 go run ./cmd/benchlint -cache "$lint_cache/pkg" -baseline .benchlint-baseline.json -run purity,maporder,keycover
+
+echo "==> benchlint resource-leak tier (closecheck, ctxleak, sendblock)"
+go run ./cmd/benchlint -cache "$lint_cache/pkg" -baseline .benchlint-baseline.json -run closecheck,ctxleak,sendblock
 
 echo "==> benchlint -format sarif (smoke: parses as SARIF 2.1.0)"
 go run ./cmd/benchlint -cache "$lint_cache/pkg" -format sarif -baseline .benchlint-baseline.json >"$lint_cache/benchlint.sarif" || true
